@@ -1,0 +1,54 @@
+// Shared helpers for the figure-regeneration benches: experiment shortcuts
+// and aligned table printing.
+//
+// Every bench prints (a) what the paper's figure shows, (b) the series this
+// implementation produces, so EXPERIMENTS.md can record paper-vs-measured
+// for each figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace dq::bench {
+
+inline void header(const char* fig, const char* what) {
+  std::printf("==================================================================\n");
+  std::printf("%s -- %s\n", fig, what);
+  std::printf("==================================================================\n");
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+// A response-time experiment with the paper's section 4.1 setup: 9 edge
+// servers, 3 application clients, 8/86/80 ms RTTs, closed loop.
+inline workload::ExperimentResult response_time_run(
+    workload::Protocol proto, double write_ratio, double locality,
+    std::uint64_t seed = 42, std::size_t requests = 400) {
+  workload::ExperimentParams p;
+  p.protocol = proto;
+  p.write_ratio = write_ratio;
+  p.locality = locality;
+  p.requests_per_client = requests;
+  p.seed = seed;
+  return workload::run_experiment(p);
+}
+
+}  // namespace dq::bench

@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark): throughput of the simulation and
+// protocol machinery itself.  These guard against performance regressions
+// in the substrate that the figure benches run on.
+#include <benchmark/benchmark.h>
+
+#include "analysis/availability.h"
+#include "quorum/quorum.h"
+#include "sim/scheduler.h"
+#include "workload/experiment.h"
+
+namespace {
+
+using namespace dq;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(i, [&sink] { ++sink; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_QuorumPickMajority(benchmark::State& state) {
+  std::vector<NodeId> members;
+  for (std::uint32_t i = 0; i < 15; ++i) members.emplace_back(i);
+  auto q = quorum::ThresholdQuorum::majority(members);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->pick(quorum::Kind::kRead, rng, NodeId(3)));
+  }
+}
+BENCHMARK(BM_QuorumPickMajority);
+
+void BM_ExactAvailabilityEnumeration15(benchmark::State& state) {
+  std::vector<NodeId> members;
+  for (std::uint32_t i = 0; i < 15; ++i) members.emplace_back(i);
+  auto q = quorum::ThresholdQuorum::majority(members);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quorum::exact_availability(*q, quorum::Kind::kRead, 0.01));
+  }
+}
+BENCHMARK(BM_ExactAvailabilityEnumeration15);
+
+// End-to-end: simulated operations per wall-clock second for the full DQVL
+// deployment (9 servers, 3 closed-loop clients).
+void BM_DqvlEndToEndOps(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::ExperimentParams p;
+    p.protocol = workload::Protocol::kDqvl;
+    p.requests_per_client = 100;
+    p.write_ratio = 0.2;
+    p.seed = 3;
+    auto r = workload::run_experiment(p);
+    benchmark::DoNotOptimize(r.all_ms.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_DqvlEndToEndOps)->Unit(benchmark::kMillisecond);
+
+void BM_MajorityEndToEndOps(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::ExperimentParams p;
+    p.protocol = workload::Protocol::kMajority;
+    p.requests_per_client = 100;
+    p.write_ratio = 0.2;
+    p.seed = 3;
+    auto r = workload::run_experiment(p);
+    benchmark::DoNotOptimize(r.all_ms.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_MajorityEndToEndOps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Workload burstiness sweep: the paper's target workload property (b) made
+// quantitative.
+//
+// DQVL is "designed for workloads whose reads (or writes) arrive in bursts":
+// the first read of a burst re-validates the OQS cache and the rest are
+// hits; the first write of a burst invalidates it and the rest are
+// suppressed.  This bench sweeps the burst parameter at a fixed 30% write
+// fraction: DQVL's response time and message cost fall sharply with
+// burstiness while the majority quorum (which has no cache to warm) is
+// flat.
+#include "bench_util.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+namespace {
+
+workload::ExperimentResult run(workload::Protocol proto, double burstiness) {
+  workload::ExperimentParams p;
+  p.protocol = proto;
+  p.write_ratio = 0.3;
+  p.burstiness = burstiness;
+  p.requests_per_client = 400;
+  p.seed = 63;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  return workload::run_experiment(p);
+}
+
+}  // namespace
+
+int main() {
+  header("Workload study",
+         "response time and overhead vs burstiness (30% writes, one object)");
+  row({"burst", "DQVL(ms)", "DQVL msg/req", "majority(ms)", "maj msg/req"},
+      14);
+  double dqvl_iid = 0, dqvl_bursty = 0;
+  for (double b : {0.0, 0.3, 0.6, 0.8, 0.9, 0.95}) {
+    const auto dq = run(workload::Protocol::kDqvl, b);
+    const auto mj = run(workload::Protocol::kMajority, b);
+    row({fmt(b, 2), fmt(dq.all_ms.mean(), 1),
+         fmt(dq.messages_per_request, 1), fmt(mj.all_ms.mean(), 1),
+         fmt(mj.messages_per_request, 1)},
+        14);
+    if (b == 0.0) dqvl_iid = dq.all_ms.mean();
+    if (b == 0.95) dqvl_bursty = dq.all_ms.mean();
+  }
+  std::printf("\npaper (section 1): dual-quorum replication targets objects "
+              "whose accesses\n\"tend to exhibit bursts of read-dominated or "
+              "write-dominated behavior\"\nmeasured: burstiness 0 -> 0.95 "
+              "improves DQVL by %.1fx; majority is flat\n",
+              dqvl_iid / dqvl_bursty);
+  return 0;
+}

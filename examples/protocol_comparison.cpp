@@ -1,0 +1,50 @@
+// Protocol comparison: a compact "evaluation section in one binary".
+//
+// Runs all five replication protocols across three workload profiles
+// (read-heavy edge traffic, mixed, write-heavy) and prints a side-by-side
+// summary: latency, message cost, and whether the history stayed regular.
+//
+//   $ ./protocol_comparison
+#include <cstdio>
+
+#include "workload/experiment.h"
+
+using namespace dq;
+using namespace dq::workload;
+
+int main() {
+  struct Profile {
+    const char* name;
+    double write_ratio;
+    double locality;
+  };
+  const Profile profiles[] = {
+      {"read-heavy edge (5% writes, 100% locality)", 0.05, 1.0},
+      {"mixed (30% writes, 90% locality)", 0.30, 0.9},
+      {"write-heavy (70% writes, 100% locality)", 0.70, 1.0},
+  };
+
+  for (const Profile& prof : profiles) {
+    std::printf("== %s ==\n", prof.name);
+    std::printf("%-16s %10s %10s %10s %10s %6s\n", "protocol", "read ms",
+                "write ms", "overall", "msgs/req", "regular");
+    for (Protocol proto : paper_protocols()) {
+      ExperimentParams p;
+      p.protocol = proto;
+      p.write_ratio = prof.write_ratio;
+      p.locality = prof.locality;
+      p.requests_per_client = 300;
+      p.seed = 1234;
+      const ExperimentResult r = run_experiment(p);
+      std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %6s\n",
+                  protocol_name(proto), r.read_ms.mean(), r.write_ms.mean(),
+                  r.all_ms.mean(), r.messages_per_request,
+                  r.violations.empty() ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+  std::printf("takeaway: DQVL gives ROWA-Async-like read latency at edge "
+              "locality without\ngiving up regular semantics; its cost "
+              "shows up only under write-heavy,\ninterleaved workloads.\n");
+  return 0;
+}

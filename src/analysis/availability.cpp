@@ -1,0 +1,85 @@
+#include "analysis/availability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dq::analysis {
+
+double binomial_tail_at_least(std::size_t n, std::size_t k, double p_down) {
+  DQ_INVARIANT(k <= n, "quorum larger than the system");
+  const double p_up = 1.0 - p_down;
+  // Sum_{i=k..n} C(n,i) p_up^i p_down^(n-i), computed stably via running
+  // binomial coefficients in log space is overkill for n <= 64; direct
+  // products suffice.
+  double total = 0.0;
+  for (std::size_t i = k; i <= n; ++i) {
+    // C(n, i)
+    double c = 1.0;
+    for (std::size_t t = 0; t < i; ++t) {
+      c *= static_cast<double>(n - t) / static_cast<double>(i - t);
+    }
+    total += c * std::pow(p_up, static_cast<double>(i)) *
+             std::pow(p_down, static_cast<double>(n - i));
+  }
+  return std::min(total, 1.0);
+}
+
+double AvailabilityModel::majority(double w) const {
+  const double av = threshold_availability(n, majority_quorum(n), p);
+  return (1.0 - w) * av + w * av;
+}
+
+double AvailabilityModel::primary_backup(double w) const {
+  // Both reads and writes require the primary.
+  (void)w;
+  return 1.0 - p;
+}
+
+double AvailabilityModel::rowa(double w) const {
+  const double read_av = 1.0 - std::pow(p, static_cast<double>(n));
+  const double write_av = std::pow(1.0 - p, static_cast<double>(n));
+  return (1.0 - w) * read_av + w * write_av;
+}
+
+double AvailabilityModel::rowa_async_stale_ok(double w) const {
+  // Any live replica accepts reads and writes.
+  const double av = 1.0 - std::pow(p, static_cast<double>(n));
+  return (1.0 - w) * av + w * av;
+}
+
+double AvailabilityModel::rowa_async_no_stale(double w) const {
+  // A read must reach the (single) replica guaranteed to hold the latest
+  // completed write; a write still succeeds at any live replica.
+  const double read_av = 1.0 - p;
+  const double write_av = 1.0 - std::pow(p, static_cast<double>(n));
+  return (1.0 - w) * read_av + w * write_av;
+}
+
+double AvailabilityModel::dqvl(double w) const {
+  // |orq| = 1 over n OQS nodes; IQS is a majority system of size `iqs`.
+  const double av_orq = 1.0 - std::pow(p, static_cast<double>(n));
+  const double av_irq = threshold_availability(iqs, majority_quorum(iqs), p);
+  const double av_iwq = av_irq;
+  return dqvl_general(w, av_orq, av_irq, av_iwq);
+}
+
+double AvailabilityModel::dqvl_general(double w, double av_orq, double av_irq,
+                                       double av_iwq) {
+  return (1.0 - w) * std::min(av_orq, av_irq) +
+         w * std::min(av_iwq, av_irq);
+}
+
+double dqvl_availability(double w, const quorum::QuorumSystem& oqs,
+                         const quorum::QuorumSystem& iqs, double p_down) {
+  const double av_orq =
+      quorum::exact_availability(oqs, quorum::Kind::kRead, p_down);
+  const double av_irq =
+      quorum::exact_availability(iqs, quorum::Kind::kRead, p_down);
+  const double av_iwq =
+      quorum::exact_availability(iqs, quorum::Kind::kWrite, p_down);
+  return AvailabilityModel::dqvl_general(w, av_orq, av_irq, av_iwq);
+}
+
+}  // namespace dq::analysis

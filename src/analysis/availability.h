@@ -1,0 +1,64 @@
+// Closed-form availability models (paper section 4.2).
+//
+// The paper's model: each node is independently unavailable with probability
+// p (covering crashes and network failures); a request is rejected when the
+// protocol cannot satisfy regular semantics.  Availability is the fraction
+// of requests served, with read fraction (1-w) and write fraction w.
+//
+//   av_DQVL = (1-w) * min(av_orq, av_irq) + w * min(av_iwq, av_irq)
+//
+// ROWA-Async is modelled both ways the paper discusses: with stale reads
+// allowed (any live replica serves anything) and with stale reads rejected
+// (Yu & Vahdat's fair comparison), where a read succeeds only if it can
+// reach the replica holding the latest completed write.
+#pragma once
+
+#include <cstddef>
+
+#include "quorum/quorum.h"
+
+namespace dq::analysis {
+
+// P(at least k of n nodes are up), per-node unavailability p.
+[[nodiscard]] double binomial_tail_at_least(std::size_t n, std::size_t k,
+                                            double p_down);
+
+// Availability of a threshold quorum of size k over n nodes.
+[[nodiscard]] inline double threshold_availability(std::size_t n,
+                                                   std::size_t k,
+                                                   double p_down) {
+  return binomial_tail_at_least(n, k, p_down);
+}
+
+struct AvailabilityModel {
+  std::size_t n = 15;   // replicas (OQS size for DQVL)
+  std::size_t iqs = 15; // IQS size for DQVL
+  double p = 0.01;      // per-node unavailability
+
+  [[nodiscard]] std::size_t majority_quorum(std::size_t m) const {
+    return m / 2 + 1;
+  }
+
+  // --- per-protocol combined availability at write ratio w ----------------
+  [[nodiscard]] double majority(double w) const;
+  [[nodiscard]] double primary_backup(double w) const;
+  [[nodiscard]] double rowa(double w) const;
+  [[nodiscard]] double rowa_async_stale_ok(double w) const;
+  [[nodiscard]] double rowa_async_no_stale(double w) const;
+  // Headline DQVL: OQS spans n with |orq|=1, IQS is a majority system.
+  [[nodiscard]] double dqvl(double w) const;
+
+  // General DQVL composition from arbitrary quorum-system availabilities.
+  [[nodiscard]] static double dqvl_general(double w, double av_orq,
+                                           double av_irq, double av_iwq);
+};
+
+// DQVL availability for ARBITRARY quorum systems (grid IQS, wide read
+// quorums, ...), composing the paper's formula with exact enumeration of
+// each system's quorum availability.  Members <= 25 per system.
+[[nodiscard]] double dqvl_availability(double w,
+                                       const quorum::QuorumSystem& oqs,
+                                       const quorum::QuorumSystem& iqs,
+                                       double p_down);
+
+}  // namespace dq::analysis

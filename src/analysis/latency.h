@@ -1,0 +1,87 @@
+// Closed-form expected response-time model for the section 4.1 experiment.
+//
+// The simulator measures latencies; this model predicts them from first
+// principles (message pattern x delay matrix), giving the benches and tests
+// an independent cross-check.  All inputs are round-trip times, matching how
+// the paper states them (8 / 86 / 80 ms), plus the per-request processing
+// delay d charged once per client-facing request at each serving node.
+//
+// Modelled paths (headline DQVL configuration: |orq| = 1, majority IQS):
+//   DQVL read hit      lan + d                      (local OQS)
+//   DQVL read miss     lan + wan_s + d              (+ one IQS renewal round)
+//   DQVL write (sup)   lan + 2*wan_s + 2d           (LC read + write rounds)
+//   DQVL write (thru)  lan + 3*wan_s + 2d           (+ invalidation round)
+//   majority read      wan_c + d
+//   majority write     2*(wan_c + d)
+//   primary/backup     wan_c + d                    (reads and async writes)
+//   ROWA read          lan + d;   ROWA write: wan_s + lan + d (via front end)
+//   ROWA-Async         lan + d for both
+//
+// Workload composition uses the single-locus iid miss/through probabilities
+// (miss ~= w, through ~= 1 - w) also used by the overhead model; the
+// simulator's measured rates replace them in the cross-check tests.
+#pragma once
+
+namespace dq::analysis {
+
+struct LatencyModel {
+  // Round trips in milliseconds (paper defaults), processing delay d.
+  double lan = 8.0;     // client <-> closest edge server
+  double wan_c = 86.0;  // client <-> remote edge server
+  double wan_s = 80.0;  // edge server <-> edge server
+  double d = 1.0;
+
+  // --- DQVL -----------------------------------------------------------------
+  [[nodiscard]] double dqvl_read_hit() const { return lan + d; }
+  [[nodiscard]] double dqvl_read_miss() const { return lan + wan_s + d; }
+  [[nodiscard]] double dqvl_read(double p_miss) const {
+    return (1.0 - p_miss) * dqvl_read_hit() + p_miss * dqvl_read_miss();
+  }
+  [[nodiscard]] double dqvl_write_suppress() const {
+    return lan + 2.0 * wan_s + 2.0 * d;
+  }
+  [[nodiscard]] double dqvl_write_through() const {
+    return lan + 3.0 * wan_s + 2.0 * d;
+  }
+  [[nodiscard]] double dqvl_write(double p_through) const {
+    return (1.0 - p_through) * dqvl_write_suppress() +
+           p_through * dqvl_write_through();
+  }
+  [[nodiscard]] double dqvl_avg(double w) const {
+    return (1.0 - w) * dqvl_read(/*p_miss=*/w) +
+           w * dqvl_write(/*p_through=*/1.0 - w);
+  }
+
+  // --- baselines -------------------------------------------------------------
+  [[nodiscard]] double majority_read() const { return wan_c + d; }
+  [[nodiscard]] double majority_write() const { return 2.0 * (wan_c + d); }
+  [[nodiscard]] double majority_avg(double w) const {
+    return (1.0 - w) * majority_read() + w * majority_write();
+  }
+
+  [[nodiscard]] double pb_read() const { return wan_c + d; }
+  [[nodiscard]] double pb_write() const { return wan_c + d; }
+  [[nodiscard]] double pb_avg(double w) const {
+    return (1.0 - w) * pb_read() + w * pb_write();
+  }
+
+  [[nodiscard]] double rowa_read() const { return lan + d; }
+  [[nodiscard]] double rowa_write() const { return lan + wan_s + d; }
+  [[nodiscard]] double rowa_avg(double w) const {
+    return (1.0 - w) * rowa_read() + w * rowa_write();
+  }
+
+  [[nodiscard]] double rowa_async_read() const { return lan + d; }
+  [[nodiscard]] double rowa_async_write() const { return lan + d; }
+  [[nodiscard]] double rowa_async_avg(double /*w*/) const { return lan + d; }
+
+  // Locality mix: with probability (1 - locality) the front-end hop costs
+  // wan_c instead of lan (edge-aware protocols only; majority and
+  // primary/backup already pay WAN and are insensitive).
+  [[nodiscard]] double with_locality(double base_with_lan,
+                                     double locality) const {
+    return base_with_lan + (1.0 - locality) * (wan_c - lan);
+  }
+};
+
+}  // namespace dq::analysis

@@ -1,0 +1,60 @@
+#include "analysis/overhead.h"
+
+namespace dq::analysis {
+
+double OverheadModel::majority_read() const {
+  return 2.0 * static_cast<double>(majority_quorum(n));
+}
+double OverheadModel::majority_write() const {
+  return 4.0 * static_cast<double>(majority_quorum(n));
+}
+
+double OverheadModel::pb_read() const { return 2.0; }
+double OverheadModel::pb_write() const {
+  return 2.0 + static_cast<double>(n - 1);
+}
+
+double OverheadModel::rowa_read() const { return 2.0; }
+double OverheadModel::rowa_write() const {
+  return 2.0 * static_cast<double>(n);
+}
+
+double OverheadModel::rowa_async_read() const { return 2.0; }
+double OverheadModel::rowa_async_write() const {
+  return 2.0 + static_cast<double>(n - 1);
+}
+
+double OverheadModel::dqvl_read(double p_miss) const {
+  const double irq = static_cast<double>(majority_quorum(iqs));
+  return 2.0 + p_miss * 2.0 * irq;
+}
+
+double OverheadModel::dqvl_write(double p_through) const {
+  const double irq = static_cast<double>(majority_quorum(iqs));
+  const double iwq = irq;  // majority IQS: read and write quorums equal
+  return 2.0 * irq + 2.0 * iwq + p_through * 2.0 * static_cast<double>(n);
+}
+
+double OverheadModel::majority_avg(double w) const {
+  return (1.0 - w) * majority_read() + w * majority_write();
+}
+double OverheadModel::pb_avg(double w) const {
+  return (1.0 - w) * pb_read() + w * pb_write();
+}
+double OverheadModel::rowa_avg(double w) const {
+  return (1.0 - w) * rowa_read() + w * rowa_write();
+}
+double OverheadModel::rowa_async_avg(double w) const {
+  return (1.0 - w) * rowa_async_read() + w * rowa_async_write();
+}
+double OverheadModel::dqvl_avg(double w) const {
+  // Worst-case single-locus iid workload: miss after every write, write-
+  // through after every read (see header).
+  return dqvl_avg(w, /*p_miss=*/w, /*p_through=*/1.0 - w);
+}
+double OverheadModel::dqvl_avg(double w, double p_miss,
+                               double p_through) const {
+  return (1.0 - w) * dqvl_read(p_miss) + w * dqvl_write(p_through);
+}
+
+}  // namespace dq::analysis

@@ -1,0 +1,25 @@
+// Always-on invariant checking.
+//
+// Protocol invariants (quorum intersection, the paper's callback invariant,
+// lease-validity conditions) are checked in release builds too: a violated
+// invariant in a replication protocol is data loss, not a debugging aid.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dq::detail {
+[[noreturn]] inline void invariant_failed(const char* expr, const char* file,
+                                          int line, const char* msg) {
+  std::fprintf(stderr, "INVARIANT VIOLATED: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+}  // namespace dq::detail
+
+#define DQ_INVARIANT(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::dq::detail::invariant_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,71 @@
+// Strongly-typed identifiers used throughout the dual-quorum codebase.
+//
+// Every entity in the system -- nodes, objects, volumes, requests, clients --
+// is identified by a distinct strong type so that mixing them up is a
+// compile-time error (C++ Core Guidelines I.4: make interfaces precisely and
+// strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace dq {
+
+// CRTP-free tagged integer id.  `Tag` is a phantom type; `Rep` the storage.
+template <typename Tag, typename Rep = std::uint32_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.v_;
+  }
+
+ private:
+  Rep v_ = 0;
+};
+
+struct NodeTag {};
+struct ObjectTag {};
+struct VolumeTag {};
+struct RequestTag {};
+struct ClientTag {};
+
+// A protocol node (edge server) in the system.  Nodes may simultaneously be
+// members of the IQS and the OQS; membership is expressed by quorum-system
+// configuration, not by the id.
+using NodeId = TaggedId<NodeTag, std::uint32_t>;
+
+// A replicated data object (e.g. one customer profile).
+using ObjectId = TaggedId<ObjectTag, std::uint64_t>;
+
+// A volume: a collection of objects that share one (short) volume lease.
+using VolumeId = TaggedId<VolumeTag, std::uint32_t>;
+
+// A unique id per RPC interaction, used to match replies to requests and to
+// de-duplicate retransmissions.
+using RequestId = TaggedId<RequestTag, std::uint64_t>;
+
+// An application/service client issuing reads and writes.
+using ClientId = TaggedId<ClientTag, std::uint32_t>;
+
+}  // namespace dq
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<dq::TaggedId<Tag, Rep>> {
+  size_t operator()(dq::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dq {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF; guard against log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  if (k >= n) return all;
+  // Partial Fisher-Yates: the first k slots end up a uniform k-subset.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + below(n - i)]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace dq

@@ -1,0 +1,65 @@
+// Small statistics helpers used by the workload driver and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dq {
+
+// Accumulates a stream of samples and answers mean / percentile / extrema
+// queries.  Keeps all samples (experiments are small: <10^6 requests).
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Nearest-rank percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Counter map keyed by small enums; see MessageStats in sim/network.h for the
+// main use.
+}  // namespace dq

@@ -1,0 +1,54 @@
+// Logical clocks and versioned values.
+//
+// The paper's protocols order writes by a logical clock obtained by reading
+// the highest clock from an IQS read quorum and advancing it.  Two clients
+// may concurrently pick the same counter value, so we break ties with the
+// writer's client id; this makes "the write with the highest logical clock"
+// well defined, which both the protocol ("if (lc > lastWriteLC_o)") and the
+// regular-semantics checker rely on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/ids.h"
+
+namespace dq {
+
+// A totally ordered logical clock value: (counter, writer-id).
+struct LogicalClock {
+  std::uint64_t counter = 0;
+  std::uint32_t writer = 0;  // tie-break: id of the writing client
+
+  friend constexpr auto operator<=>(const LogicalClock&,
+                                    const LogicalClock&) = default;
+
+  // The smallest clock; no real write ever carries it.
+  [[nodiscard]] static constexpr LogicalClock zero() { return {}; }
+
+  // The clock a writer should use after observing `observed`.
+  [[nodiscard]] constexpr LogicalClock advanced_by(ClientId writer_id) const {
+    return LogicalClock{counter + 1, writer_id.value()};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const LogicalClock& lc) {
+    return os << lc.counter << '.' << lc.writer;
+  }
+};
+
+// The unit of replicated data: an opaque byte string.  Values are small
+// (customer profiles), so value semantics with std::string is appropriate.
+using Value = std::string;
+
+// A value together with the logical clock of the write that produced it.
+struct VersionedValue {
+  Value value;
+  LogicalClock clock;
+
+  friend bool operator==(const VersionedValue&,
+                         const VersionedValue&) = default;
+};
+
+}  // namespace dq

@@ -1,0 +1,33 @@
+#include "core/dq_atomic_client.h"
+
+namespace dq::core {
+
+void DqAtomicClient::read(ObjectId o, ReadCallback done) {
+  inner_.read(o, [this, o, done = std::move(done)](bool ok,
+                                                   VersionedValue vv) mutable {
+    if (!ok) {
+      done(false, std::move(vv));
+      return;
+    }
+    if (vv.clock == LogicalClock::zero()) {
+      // Initial value: nothing to confirm (no write to stabilize).
+      done(true, std::move(vv));
+      return;
+    }
+    // Confirmation phase: replay the (value, clock) to an IQS write quorum.
+    // Each member acks only once an OQS write quorum can no longer read
+    // anything older, making the returned value stable.
+    engine_.call(
+        *cfg_->iqs, quorum::Kind::kWrite,
+        [o, vv](NodeId) -> std::optional<msg::Payload> {
+          return msg::DqWrite{o, vv.value, vv.clock};
+        },
+        [](NodeId, const msg::Payload&) {},
+        [vv, done = std::move(done)](bool ok2) mutable {
+          done(ok2, std::move(vv));
+        },
+        cfg_->rpc);
+  });
+}
+
+}  // namespace dq::core

@@ -1,0 +1,55 @@
+// Service-client library for the dual-quorum store.
+//
+// Reads go to an OQS read quorum; the reply with the highest logical clock
+// wins.  Writes are two QRPC phases against the IQS, exactly as in the
+// paper: (1) read the highest logical clock from an IQS read quorum,
+// (2) advance it and send the write to an IQS write quorum.
+//
+// The client is a component embedded in a host actor (a front-end edge
+// server, or a workload client in direct-access experiments); the host
+// forwards envelopes to on_message.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/ids.h"
+#include "common/version.h"
+#include "core/config.h"
+#include "msg/wire.h"
+#include "rpc/qrpc.h"
+#include "sim/world.h"
+
+namespace dq::core {
+
+class DqClient {
+ public:
+  using ReadCallback = std::function<void(bool ok, VersionedValue)>;
+  using WriteCallback = std::function<void(bool ok, LogicalClock)>;
+
+  DqClient(sim::World& world, NodeId self,
+           std::shared_ptr<const DqConfig> config)
+      : world_(world), self_(self), cfg_(std::move(config)),
+        engine_(world_, self_), writer_id_(self_.value()) {}
+
+  // Read `o`: QRPC to an OQS read quorum; returns the highest-clock reply.
+  void read(ObjectId o, ReadCallback done);
+
+  // Write `value` to `o`: LC-read phase then write phase, both on the IQS.
+  void write(ObjectId o, Value value, WriteCallback done);
+
+  // Route engine replies.  Returns true if consumed.
+  bool on_message(const sim::Envelope& env) { return engine_.on_reply(env); }
+
+  [[nodiscard]] std::size_t inflight() const { return engine_.inflight(); }
+  void cancel_all() { engine_.cancel_all(); }
+
+ private:
+  sim::World& world_;
+  NodeId self_;
+  std::shared_ptr<const DqConfig> cfg_;
+  rpc::QrpcEngine engine_;
+  ClientId writer_id_;
+};
+
+}  // namespace dq::core

@@ -1,0 +1,466 @@
+#include "core/iqs_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "sim/processing.h"
+
+namespace dq::core {
+
+namespace {
+// Pad a lease duration by the worst-case relative clock-rate error.
+sim::Duration padded(sim::Duration lease, double max_drift) {
+  if (lease >= sim::kTimeInfinity) return sim::kTimeInfinity;
+  return static_cast<sim::Duration>(static_cast<double>(lease) *
+                                    (1.0 + max_drift));
+}
+}  // namespace
+
+IqsServer::IqsServer(sim::World& world, NodeId self,
+                     std::shared_ptr<const DqConfig> config)
+    : world_(world), self_(self), cfg_(std::move(config)),
+      engine_(world_, self_) {
+  DQ_INVARIANT(cfg_->iqs && cfg_->oqs, "DqConfig must name both systems");
+  DQ_INVARIANT(cfg_->iqs->is_member(self_), "IqsServer on a non-member node");
+}
+
+bool IqsServer::on_message(const sim::Envelope& env) {
+  // Client-facing requests pay the constant per-request processing delay;
+  // internal renewal/invalidation traffic does not (see sim/processing.h).
+  if (std::get_if<msg::DqLcRead>(&env.body) != nullptr) {
+    sim::defer_processing(world_, self_, [this, env] {
+      handle_lc_read(env, std::get<msg::DqLcRead>(env.body));
+    });
+    return true;
+  }
+  if (std::get_if<msg::DqWrite>(&env.body) != nullptr) {
+    sim::defer_processing(world_, self_, [this, env] {
+      handle_write(env, std::get<msg::DqWrite>(env.body));
+    });
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqInvalAck>(&env.body)) {
+    handle_inval_ack(env, *m);
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolRenew>(&env.body)) {
+    handle_vol_renew(env, *m);
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolRenewAck>(&env.body)) {
+    handle_vol_renew_ack(env, *m);
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolRenewBatch>(&env.body)) {
+    msg::DqVolRenewBatchReply out;
+    out.replies.reserve(m->renewals.size());
+    for (const msg::DqVolRenew& r : m->renewals) {
+      out.replies.push_back(grant_lease(env.src, r.volume, r.requestor_time));
+    }
+    reply(env, std::move(out));
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolRenewAckBatch>(&env.body)) {
+    for (const msg::DqVolRenewAck& a : m->acks) {
+      handle_vol_renew_ack(env, a);
+    }
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqObjRenew>(&env.body)) {
+    handle_obj_renew(env, *m);
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolObjRenew>(&env.body)) {
+    handle_vol_obj_renew(env, *m);
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolFetch>(&env.body)) {
+    handle_vol_fetch(env, *m);
+    return true;
+  }
+  return false;
+}
+
+void IqsServer::on_crash() {
+  // Object data and callback/lease state are durable (written through before
+  // any ack leaves this node).  In-flight invalidation machines are volatile:
+  // clients retransmit their writes and the machines are rebuilt.
+  engine_.cancel_all();
+  ensures_.clear();
+}
+
+void IqsServer::reply(const sim::Envelope& to, msg::Payload body) {
+  world_.reply(self_, to, std::move(body));
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing handlers
+// ---------------------------------------------------------------------------
+
+void IqsServer::handle_lc_read(const sim::Envelope& env,
+                               const msg::DqLcRead& m) {
+  reply(env, msg::DqLcReadReply{m.object, logical_clock_});
+}
+
+void IqsServer::handle_write(const sim::Envelope& env, const msg::DqWrite& m) {
+  auto& os = obj(m.object);
+  if (m.clock > os.last_write) {
+    os.last_write = m.clock;
+    os.value = m.value;
+  }
+  logical_clock_ = std::max(logical_clock_, m.clock);
+
+  auto& en = ensures_[m.object];
+  if (m.clock <= en.ensured) {
+    // An OQS write quorum is already unable to read anything older.
+    reply(env, msg::DqWriteAck{m.object, m.clock});
+    return;
+  }
+  // Register the waiter (dedupe retransmissions by src + rpc id).
+  const bool duplicate = std::any_of(
+      en.waiters.begin(), en.waiters.end(), [&](const Waiter& w) {
+        return w.src == env.src && w.rpc_id == env.rpc_id;
+      });
+  if (!duplicate) en.waiters.push_back({env.src, env.rpc_id, m.clock});
+  en.target = std::max(en.target, os.last_write);
+  start_or_extend_ensure(m.object);
+}
+
+void IqsServer::handle_inval_ack(const sim::Envelope& env,
+                                 const msg::DqInvalAck& m) {
+  auto& os = obj(m.object);
+  auto& slot = os.last_ack[env.src];
+  slot = std::max(slot, m.clock);
+  poke_ensure(m.object);
+}
+
+// ---------------------------------------------------------------------------
+// Ensure machine: make an OQS write quorum unable to read stale data
+// ---------------------------------------------------------------------------
+
+bool IqsServer::node_safe(NodeId j, ObjectId o, LogicalClock lc) {
+  auto& os = obj(o);
+  LogicalClock ack;
+  if (auto it = os.last_ack.find(j); it != os.last_ack.end()) ack = it->second;
+
+  // (a) j acked an invalidation at or above this write's clock.
+  if (ack >= lc) return true;
+  // (a') i knows j's copy is invalid: j acked an invalidation after the last
+  // renewal of o by any OQS node, and can only re-validate by renewing from
+  // an IQS read quorum (which would observe the new value).
+  if (cfg_->suppression_enabled && os.last_read < ack) return true;
+  // (a'') j holds no live object lease on o FROM THIS NODE -- it never
+  // renewed o here, or its finite object lease (footnote 4) lapsed.
+  // Condition C requires a valid object lease from every member of the read
+  // quorum j uses, so j cannot serve o counting this node without first
+  // object-renewing here, which returns the new value.  No invalidation and
+  // no delayed-queue entry are needed.
+  {
+    auto it = os.obj_expires.find(j);
+    if (it == os.obj_expires.end() || it->second <= local_now()) return true;
+  }
+  // (b) j's volume lease is expired (or was never granted): j cannot serve
+  // the object until it renews the volume, at which point it will receive
+  // the delayed invalidation enqueued here.
+  const VolumeId v = cfg_->volumes.volume_of(o);
+  if (!lease_valid(v, j)) {
+    auto& ls = lease(v, j);
+    auto& slot = ls.delayed[o];
+    slot = std::max(slot, os.last_write);
+    if (world_.tracing()) {
+      world_.trace(self_, "lease",
+                   "delayed inval for n" + std::to_string(j.value()) +
+                       " obj " + std::to_string(o.value()));
+    }
+    maybe_gc_epoch(v, j);
+    return true;
+  }
+  // (c) lease valid and copy possibly valid: an invalidation must be acked
+  // (or the lease must expire) before this node counts toward the quorum.
+  return false;
+}
+
+bool IqsServer::owq_invalid(ObjectId o, LogicalClock lc) {
+  std::set<NodeId> safe;
+  for (NodeId j : cfg_->oqs->members()) {
+    if (node_safe(j, o, lc)) safe.insert(j);
+  }
+  return cfg_->oqs->is_quorum(quorum::Kind::kWrite, safe);
+}
+
+void IqsServer::start_or_extend_ensure(ObjectId o) {
+  auto& en = ensures_[o];
+  if (en.call != 0) {
+    if (en.target <= en.call_target) {
+      engine_.poke(en.call);
+      return;
+    }
+    // A higher-clock write arrived while a machine was running: restart it
+    // so fresh invalidations (carrying the new clock) go out immediately
+    // instead of waiting for the next retransmission interval.
+    engine_.cancel(en.call);
+    en.call = 0;
+  }
+  en.call_target = en.target;
+  // call_until may complete synchronously (condition already true); in that
+  // case on_complete runs before the id is returned and we must not record
+  // a stale call id.
+  auto completed = std::make_shared<bool>(false);
+  const rpc::CallId id = engine_.call_until(
+      *cfg_->oqs, quorum::Kind::kWrite,
+      /*build=*/
+      [this, o](NodeId j) -> std::optional<msg::Payload> {
+        auto& en2 = ensures_[o];
+        if (node_safe(j, o, en2.target)) return std::nullopt;
+        return msg::DqInval{o, obj(o).last_write};
+      },
+      /*on_reply=*/
+      [](NodeId, const msg::Payload&) {
+        // Acks are applied in handle_inval_ack before the engine sees them.
+      },
+      /*done=*/
+      [this, o] {
+        auto it = ensures_.find(o);
+        if (it == ensures_.end()) return true;
+        return owq_invalid(o, it->second.target);
+      },
+      /*on_complete=*/
+      [this, o, completed](bool ok) {
+        DQ_INVARIANT(ok, "ensure machines have no deadline; cannot fail");
+        *completed = true;
+        finish_ensure(o);
+      },
+      [this] {
+        // The ensure machine never gives up: a blocked write is eventually
+        // unblocked by acks or by lease expiry (bounded by L).  Client-side
+        // deadlines are the mechanism that turns partitions into rejections.
+        rpc::QrpcOptions opts = cfg_->rpc;
+        opts.deadline = sim::kTimeInfinity;
+        return opts;
+      }());
+  if (world_.tracing()) {
+    world_.trace(self_, "write", *completed
+                                     ? "write-suppress obj " +
+                                           std::to_string(o.value())
+                                     : "write-through obj " +
+                                           std::to_string(o.value()));
+  }
+  if (!*completed) ensures_[o].call = id;
+}
+
+void IqsServer::finish_ensure(ObjectId o) {
+  auto it = ensures_.find(o);
+  if (it == ensures_.end()) return;
+  Ensure& en = it->second;
+  en.call = 0;
+  en.ensured = std::max(en.ensured, en.target);
+  std::vector<Waiter> ready;
+  for (const Waiter& w : en.waiters) {
+    DQ_INVARIANT(w.clock <= en.ensured,
+                 "waiter above ensure target should be impossible");
+    ready.push_back(w);
+  }
+  en.waiters.clear();
+  // Keep `ensured` for fast-acking duplicate retransmissions; the entry is
+  // small and bounded by the number of live objects.
+  for (const Waiter& w : ready) {
+    world_.send_tagged(self_, w.src, w.rpc_id, msg::DqWriteAck{o, w.clock},
+                       /*is_reply=*/true);
+  }
+}
+
+void IqsServer::poke_ensure(ObjectId o) {
+  auto it = ensures_.find(o);
+  if (it != ensures_.end() && it->second.call != 0) {
+    engine_.poke(it->second.call);
+  }
+}
+
+void IqsServer::poke_volume(VolumeId v) {
+  // A lease on v expired: writes blocked on that lease may now complete.
+  std::vector<ObjectId> affected;
+  for (const auto& [o, en] : ensures_) {
+    if (en.call != 0 && cfg_->volumes.volume_of(o) == v) affected.push_back(o);
+  }
+  for (ObjectId o : affected) poke_ensure(o);
+}
+
+// ---------------------------------------------------------------------------
+// Lease handlers
+// ---------------------------------------------------------------------------
+
+IqsServer::LeaseState& IqsServer::lease(VolumeId v, NodeId j) {
+  return leases_[{v, j}];
+}
+
+const IqsServer::LeaseState* IqsServer::find_lease(VolumeId v, NodeId j) const {
+  auto it = leases_.find({v, j});
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+bool IqsServer::lease_valid(VolumeId v, NodeId j) const {
+  const LeaseState* ls = find_lease(v, j);
+  return ls != nullptr && ls->expires > local_now();
+}
+
+msg::DqVolRenewReply IqsServer::grant_lease(NodeId j, VolumeId v,
+                                            sim::Time requestor_time) {
+  auto& ls = lease(v, j);
+  msg::DqVolRenewReply r;
+  r.volume = v;
+  r.lease_length = cfg_->lease_length;
+  r.epoch = ls.epoch;
+  r.requestor_time = requestor_time;
+  r.delayed.reserve(ls.delayed.size());
+  for (const auto& [o, lc] : ls.delayed) r.delayed.push_back({o, lc});
+
+  const sim::Duration dur = padded(cfg_->lease_length, cfg_->max_drift);
+  ls.expires = (dur >= sim::kTimeInfinity) ? sim::kTimeInfinity
+                                           : local_now() + dur;
+  ls.expiry_timer.cancel();
+  if (ls.expires < sim::kTimeInfinity) {
+    ls.expiry_timer = world_.set_timer_local(
+        self_, ls.expires, [this, v] { poke_volume(v); });
+  }
+  if (world_.tracing()) {
+    world_.trace(self_, "lease",
+                 "grant vol " + std::to_string(v.value()) + " to n" +
+                     std::to_string(j.value()) + " (" +
+                     std::to_string(r.delayed.size()) + " delayed)");
+  }
+  return r;
+}
+
+void IqsServer::maybe_gc_epoch(VolumeId v, NodeId j) {
+  auto& ls = lease(v, j);
+  if (ls.delayed.size() <= cfg_->max_delayed_per_volume) return;
+  // Only safe while j holds no valid lease: after the epoch advances, j's
+  // object leases from this node die at its next volume renewal.
+  if (ls.expires > local_now()) return;
+  ++ls.epoch;
+  ls.delayed.clear();
+  if (world_.tracing()) {
+    world_.trace(self_, "lease",
+                 "epoch bump for n" + std::to_string(j.value()) + " vol " +
+                     std::to_string(v.value()) + " -> " +
+                     std::to_string(ls.epoch));
+  }
+}
+
+void IqsServer::handle_vol_renew(const sim::Envelope& env,
+                                 const msg::DqVolRenew& m) {
+  reply(env, grant_lease(env.src, m.volume, m.requestor_time));
+}
+
+void IqsServer::handle_vol_renew_ack(const sim::Envelope& env,
+                                     const msg::DqVolRenewAck& m) {
+  auto it = leases_.find({m.volume, env.src});
+  if (it == leases_.end()) return;
+  LeaseState& ls = it->second;
+  std::vector<ObjectId> confirmed;
+  for (auto d = ls.delayed.begin(); d != ls.delayed.end();) {
+    if (d->second <= m.applied_up_to) {
+      // j confirmed it applied this delayed invalidation: its cached copy is
+      // now invalid up to the queued clock -- record the implied ack.
+      auto& slot = obj(d->first).last_ack[env.src];
+      slot = std::max(slot, d->second);
+      confirmed.push_back(d->first);
+      d = ls.delayed.erase(d);
+    } else {
+      ++d;
+    }
+  }
+  for (ObjectId o : confirmed) poke_ensure(o);
+}
+
+msg::DqObjRenewReply IqsServer::grant_object(NodeId j, ObjectId o,
+                                             sim::Time requestor_time) {
+  auto& os = obj(o);
+  os.last_read = os.last_write;
+  const sim::Duration dur = padded(cfg_->object_lease_length, cfg_->max_drift);
+  auto& slot = os.obj_expires[j];
+  const sim::Time exp = dur >= sim::kTimeInfinity ? sim::kTimeInfinity
+                                                  : local_now() + dur;
+  slot = std::max(slot, exp);
+  const VolumeId v = cfg_->volumes.volume_of(o);
+  return msg::DqObjRenewReply{o,
+                              os.value,
+                              os.last_write,
+                              lease(v, j).epoch,
+                              cfg_->object_lease_length,
+                              requestor_time};
+}
+
+void IqsServer::handle_obj_renew(const sim::Envelope& env,
+                                 const msg::DqObjRenew& m) {
+  reply(env, grant_object(env.src, m.object, m.requestor_time));
+}
+
+void IqsServer::handle_vol_obj_renew(const sim::Envelope& env,
+                                     const msg::DqVolObjRenew& m) {
+  msg::DqVolObjRenewReply r;
+  r.vol = grant_lease(env.src, m.volume, m.requestor_time);
+  r.obj = grant_object(env.src, m.object, m.requestor_time);
+  reply(env, std::move(r));
+}
+
+void IqsServer::handle_vol_fetch(const sim::Envelope& env,
+                                 const msg::DqVolFetch& m) {
+  // Bulk revalidation: one volume lease plus object grants for everything
+  // this node stores in the volume.  The reply is bounded: a volume with
+  // more objects than the cap falls back to per-object renewals for the
+  // tail (the requestor's read machine handles those as ordinary misses).
+  constexpr std::size_t kMaxObjectsPerFetch = 1024;
+  msg::DqVolFetchReply r;
+  r.vol = grant_lease(env.src, m.volume, m.requestor_time);
+  for (const auto& [o, os] : objects_) {
+    if (cfg_->volumes.volume_of(o) != m.volume) continue;
+    if (r.objects.size() >= kMaxObjectsPerFetch) break;
+    r.objects.push_back(grant_object(env.src, o, m.requestor_time));
+  }
+  reply(env, std::move(r));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+LogicalClock IqsServer::last_write_clock(ObjectId o) const {
+  auto it = objects_.find(o);
+  return it == objects_.end() ? LogicalClock{} : it->second.last_write;
+}
+
+LogicalClock IqsServer::last_read_clock(ObjectId o) const {
+  auto it = objects_.find(o);
+  return it == objects_.end() ? LogicalClock{} : it->second.last_read;
+}
+
+LogicalClock IqsServer::last_ack_clock(ObjectId o, NodeId j) const {
+  auto it = objects_.find(o);
+  if (it == objects_.end()) return {};
+  auto jt = it->second.last_ack.find(j);
+  return jt == it->second.last_ack.end() ? LogicalClock{} : jt->second;
+}
+
+Value IqsServer::value_of(ObjectId o) const {
+  auto it = objects_.find(o);
+  return it == objects_.end() ? Value{} : it->second.value;
+}
+
+msg::Epoch IqsServer::epoch_of(VolumeId v, NodeId j) const {
+  const LeaseState* ls = find_lease(v, j);
+  return ls == nullptr ? 0 : ls->epoch;
+}
+
+sim::Time IqsServer::lease_expiry(VolumeId v, NodeId j) const {
+  const LeaseState* ls = find_lease(v, j);
+  return ls == nullptr ? 0 : ls->expires;
+}
+
+std::size_t IqsServer::delayed_queue_size(VolumeId v, NodeId j) const {
+  const LeaseState* ls = find_lease(v, j);
+  return ls == nullptr ? 0 : ls->delayed.size();
+}
+
+}  // namespace dq::core

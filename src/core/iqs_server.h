@@ -1,0 +1,151 @@
+// IQS server: processes client writes and grants volume/object leases to
+// OQS nodes (paper Figure 4).
+//
+// Per-object callback state:
+//   lastWriteLC_o   clock of the last write applied here
+//   lastReadLC_o    lastWriteLC_o at the time of the last OQS renewal of o
+//   lastAckLC_o[j]  highest invalidation clock acked by OQS node j
+//
+// Per-(volume, OQS node) lease state:
+//   expires[v][j]   when v's lease at j expires (in THIS node's local time,
+//                   padded by (1 + maxDrift) -- see note below)
+//   delayed[v][j]   invalidations j must apply before its next lease on v
+//   epoch[v][j]     advanced to garbage-collect delayed[v][j]
+//
+// Drift-safety note.  The paper records expires = L + currentTime on the
+// grantor while the requestor uses t0 + L*(1 - maxDrift).  With *rate* drift
+// those two windows are not strictly nested (a fast grantor clock can expire
+// the grant before a slow requestor clock does), so we additionally pad the
+// grantor's record to L*(1 + maxDrift).  The invariant tests exercise this
+// with adversarial clock rates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/version.h"
+#include "core/config.h"
+#include "msg/wire.h"
+#include "rpc/qrpc.h"
+#include "sim/world.h"
+
+namespace dq::core {
+
+class IqsServer {
+ public:
+  IqsServer(sim::World& world, NodeId self,
+            std::shared_ptr<const DqConfig> config);
+
+  // Handle an envelope addressed to this node.  Returns true if consumed.
+  bool on_message(const sim::Envelope& env);
+
+  // Drop volatile state (crash-restart).  Object data and callback state in
+  // this model are durable (written through before acks); in-flight
+  // ensure-machines are volatile and restart from retransmissions.
+  void on_crash();
+
+  // --- introspection for tests and invariant checkers ---------------------
+  [[nodiscard]] LogicalClock last_write_clock(ObjectId o) const;
+  [[nodiscard]] LogicalClock last_read_clock(ObjectId o) const;
+  [[nodiscard]] LogicalClock last_ack_clock(ObjectId o, NodeId j) const;
+  [[nodiscard]] Value value_of(ObjectId o) const;
+  [[nodiscard]] msg::Epoch epoch_of(VolumeId v, NodeId j) const;
+  [[nodiscard]] sim::Time lease_expiry(VolumeId v, NodeId j) const;
+  [[nodiscard]] std::size_t delayed_queue_size(VolumeId v, NodeId j) const;
+  // Is the volume lease for j still valid by this node's local clock?
+  [[nodiscard]] bool lease_valid(VolumeId v, NodeId j) const;
+  // Number of in-flight invalidation machines (writes not yet safe).
+  [[nodiscard]] std::size_t pending_ensures() const {
+    std::size_t n = 0;
+    for (const auto& [o, en] : ensures_) n += en.call != 0 ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct ObjState {
+    LogicalClock last_write;
+    LogicalClock last_read;
+    Value value;
+    std::unordered_map<NodeId, LogicalClock> last_ack;
+    // When each OQS node's object lease expires (padded local time).
+    // Absent or past => that node holds no usable object lease from this
+    // node and needs no invalidation.  With infinite object leases
+    // (callbacks, the paper's default) a grant never expires.
+    std::unordered_map<NodeId, sim::Time> obj_expires;
+  };
+
+  struct LeaseState {
+    sim::Time expires = 0;            // local time, padded
+    msg::Epoch epoch = 0;
+    std::map<ObjectId, LogicalClock> delayed;  // max clock per object
+    sim::TimerToken expiry_timer;
+  };
+
+  struct Waiter {
+    NodeId src;
+    RequestId rpc_id;
+    LogicalClock clock;
+  };
+
+  struct Ensure {
+    rpc::CallId call = 0;
+    LogicalClock target;          // highest write clock being ensured
+    LogicalClock call_target;     // target the running call was started for
+    LogicalClock ensured;         // highest clock already ensured
+    std::vector<Waiter> waiters;
+  };
+
+  // --- message handlers ----------------------------------------------------
+  void handle_lc_read(const sim::Envelope& env, const msg::DqLcRead& m);
+  void handle_write(const sim::Envelope& env, const msg::DqWrite& m);
+  void handle_inval_ack(const sim::Envelope& env, const msg::DqInvalAck& m);
+  void handle_vol_renew(const sim::Envelope& env, const msg::DqVolRenew& m);
+  void handle_vol_renew_ack(const sim::Envelope& env,
+                            const msg::DqVolRenewAck& m);
+  void handle_obj_renew(const sim::Envelope& env, const msg::DqObjRenew& m);
+  void handle_vol_obj_renew(const sim::Envelope& env,
+                            const msg::DqVolObjRenew& m);
+  void handle_vol_fetch(const sim::Envelope& env, const msg::DqVolFetch& m);
+
+  // --- ensure machine (invalidate an OQS write quorum) ---------------------
+  // Is OQS node j guaranteed unable to serve a version of o older than lc?
+  // May lazily enqueue a delayed invalidation when j's lease is expired.
+  bool node_safe(NodeId j, ObjectId o, LogicalClock lc);
+  bool owq_invalid(ObjectId o, LogicalClock lc);
+  void start_or_extend_ensure(ObjectId o);
+  void finish_ensure(ObjectId o);
+  void poke_ensure(ObjectId o);
+  void poke_volume(VolumeId v);
+
+  // --- lease helpers --------------------------------------------------------
+  LeaseState& lease(VolumeId v, NodeId j);
+  [[nodiscard]] const LeaseState* find_lease(VolumeId v, NodeId j) const;
+  msg::DqVolRenewReply grant_lease(NodeId j, VolumeId v,
+                                   sim::Time requestor_time);
+  msg::DqObjRenewReply grant_object(NodeId j, ObjectId o,
+                                    sim::Time requestor_time);
+  void maybe_gc_epoch(VolumeId v, NodeId j);
+
+  ObjState& obj(ObjectId o) { return objects_[o]; }
+  [[nodiscard]] sim::Time local_now() const {
+    return world_.local_now(self_);
+  }
+  void reply(const sim::Envelope& to, msg::Payload body);
+
+  sim::World& world_;
+  NodeId self_;
+  std::shared_ptr<const DqConfig> cfg_;
+  rpc::QrpcEngine engine_;
+
+  LogicalClock logical_clock_;  // >= every lastWriteLC on this node
+  std::unordered_map<ObjectId, ObjState> objects_;
+  std::map<std::pair<VolumeId, NodeId>, LeaseState> leases_;
+  std::unordered_map<ObjectId, Ensure> ensures_;
+};
+
+}  // namespace dq::core

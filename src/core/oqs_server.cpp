@@ -1,0 +1,372 @@
+#include "core/oqs_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "sim/processing.h"
+
+namespace dq::core {
+
+OqsServer::OqsServer(sim::World& world, NodeId self,
+                     std::shared_ptr<const DqConfig> config)
+    : world_(world), self_(self), cfg_(std::move(config)),
+      engine_(world_, self_) {
+  DQ_INVARIANT(cfg_->iqs && cfg_->oqs, "DqConfig must name both systems");
+  DQ_INVARIANT(cfg_->oqs->is_member(self_), "OqsServer on a non-member node");
+}
+
+bool OqsServer::on_message(const sim::Envelope& env) {
+  if (std::get_if<msg::DqRead>(&env.body) != nullptr) {
+    // Client-facing: pays the per-request processing delay.
+    sim::defer_processing(world_, self_, [this, env] {
+      handle_read(env, std::get<msg::DqRead>(env.body));
+    });
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqInval>(&env.body)) {
+    handle_inval(env, *m);
+    return true;
+  }
+  // Renewal replies: apply the (monotone, idempotent) state updates first,
+  // then let the QRPC engine account the reply and re-check its predicate.
+  // Late replies whose call already finished still freshen our leases.
+  if (const auto* m = std::get_if<msg::DqVolRenewReply>(&env.body)) {
+    apply_vol_renew_reply(env.src, *m);
+    engine_.on_reply(env);
+    poke_pending();
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolRenewBatchReply>(&env.body)) {
+    std::vector<msg::DqVolRenewAck> acks;
+    for (const msg::DqVolRenewReply& r : m->replies) {
+      apply_vol_renew_reply(env.src, r, &acks);
+    }
+    if (!acks.empty()) {
+      world_.send(self_, env.src, RequestId(0),
+                  msg::DqVolRenewAckBatch{std::move(acks)});
+    }
+    poke_pending();
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqObjRenewReply>(&env.body)) {
+    apply_obj_renew_reply(env.src, *m);
+    engine_.on_reply(env);
+    poke_pending();
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolFetchReply>(&env.body)) {
+    // Volume part first (delayed invalidations), then every object grant.
+    apply_vol_renew_reply(env.src, m->vol);
+    for (const msg::DqObjRenewReply& o : m->objects) {
+      apply_obj_renew_reply(env.src, o);
+    }
+    engine_.on_reply(env);
+    poke_pending();
+    return true;
+  }
+  if (const auto* m = std::get_if<msg::DqVolObjRenewReply>(&env.body)) {
+    // Volume part first: its delayed invalidations must land before the
+    // object lease becomes usable (section 3.2).
+    apply_vol_renew_reply(env.src, m->vol);
+    apply_obj_renew_reply(env.src, m->obj);
+    engine_.on_reply(env);
+    poke_pending();
+    return true;
+  }
+  return false;
+}
+
+void OqsServer::on_crash() {
+  // Everything here is a cache; the protocol re-derives it via renewals.
+  engine_.cancel_all();
+  store_.clear();
+  obj_state_.clear();
+  vol_state_.clear();
+  pending_.clear();
+  proactive_active_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Condition C
+// ---------------------------------------------------------------------------
+
+bool OqsServer::volume_lease_valid(VolumeId v, NodeId i) const {
+  auto it = vol_state_.find({v, i});
+  return it != vol_state_.end() && it->second.expires > local_now();
+}
+
+bool OqsServer::object_lease_valid(ObjectId o, NodeId i) const {
+  auto ot = obj_state_.find(o);
+  if (ot == obj_state_.end()) return false;
+  auto it = ot->second.find(i);
+  if (it == ot->second.end() || !it->second.valid) return false;
+  if (it->second.expires <= local_now()) return false;  // finite obj lease
+  const VolumeId v = cfg_->volumes.volume_of(o);
+  auto vt = vol_state_.find({v, i});
+  const msg::Epoch vol_epoch = vt == vol_state_.end() ? 0 : vt->second.epoch;
+  return it->second.epoch == vol_epoch;
+}
+
+bool OqsServer::condition_c(ObjectId o) const {
+  const VolumeId v = cfg_->volumes.volume_of(o);
+  std::set<NodeId> held;
+  for (NodeId i : cfg_->iqs->members()) {
+    if (volume_lease_valid(v, i) && object_lease_valid(o, i)) held.insert(i);
+  }
+  return cfg_->iqs->is_quorum(quorum::Kind::kRead, held);
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void OqsServer::handle_read(const sim::Envelope& env, const msg::DqRead& m) {
+  PendingRead pr{env.src, env.rpc_id, m.object, 0};
+  if (condition_c(m.object)) {
+    if (world_.tracing()) {
+      world_.trace(self_, "read",
+                   "hit obj " + std::to_string(m.object.value()));
+    }
+    reply_to_read(pr);  // read hit: answer from cache, no IQS traffic
+    return;
+  }
+  if (world_.tracing()) {
+    world_.trace(self_, "read",
+                 "miss obj " + std::to_string(m.object.value()));
+  }
+  const std::uint64_t key = next_pending_++;
+  pending_.emplace(key, pr);
+  start_read_machine(key);
+}
+
+void OqsServer::reply_to_read(const PendingRead& pr) {
+  // Value: highest-clock update received (store keeps exactly that).  Clock:
+  // max logicalClock_{o,i} over IQS nodes with valid_{o,i} (Figure 5).
+  LogicalClock lc;
+  if (auto ot = obj_state_.find(pr.object); ot != obj_state_.end()) {
+    for (const auto& [i, st] : ot->second) {
+      if (st.valid) lc = std::max(lc, st.clock);
+    }
+  }
+  const VersionedValue vv = store_.get(pr.object);
+  world_.send_tagged(self_, pr.src, pr.rpc_id,
+                     msg::DqReadReply{pr.object, vv.value, lc},
+                     /*is_reply=*/true);
+}
+
+void OqsServer::start_read_machine(std::uint64_t key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  const ObjectId o = it->second.object;
+  const VolumeId v = cfg_->volumes.volume_of(o);
+
+  auto completed = std::make_shared<bool>(false);
+  const rpc::CallId id = engine_.call_until(
+      *cfg_->iqs, quorum::Kind::kRead,
+      /*build=*/
+      [this, o, v](NodeId i) -> std::optional<msg::Payload> {
+        const bool vol_ok = volume_lease_valid(v, i);
+        const bool obj_ok = object_lease_valid(o, i);
+        if (!vol_ok && !obj_ok) {
+          return msg::DqVolObjRenew{v, o, local_now()};
+        }
+        if (!vol_ok) return msg::DqVolRenew{v, local_now()};
+        if (!obj_ok) return msg::DqObjRenew{o, local_now()};
+        return std::nullopt;
+      },
+      /*on_reply=*/[](NodeId, const msg::Payload&) {},
+      /*done=*/[this, o] { return condition_c(o); },
+      /*on_complete=*/
+      [this, key, completed](bool ok) {
+        *completed = true;
+        finish_read(key, ok);
+      },
+      cfg_->rpc);
+  if (!*completed) {
+    if (auto it2 = pending_.find(key); it2 != pending_.end()) {
+      it2->second.call = id;
+    }
+  }
+}
+
+void OqsServer::finish_read(std::uint64_t key, bool ok) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  PendingRead pr = it->second;
+  pending_.erase(it);
+  if (!ok) return;  // deadline exceeded; the service client's QRPC handles it
+  reply_to_read(pr);
+  if (cfg_->proactive_volume_renewal) {
+    maybe_schedule_proactive_renewal(cfg_->volumes.volume_of(pr.object));
+  }
+}
+
+void OqsServer::poke_pending() {
+  // State changed (renewal reply or invalidation): any pending read's
+  // condition C may have flipped.  Engine pokes re-evaluate `done`.
+  std::vector<rpc::CallId> calls;
+  calls.reserve(pending_.size());
+  for (const auto& [k, pr] : pending_) {
+    if (pr.call != 0) calls.push_back(pr.call);
+  }
+  for (rpc::CallId c : calls) engine_.poke(c);
+}
+
+// ---------------------------------------------------------------------------
+// State application
+// ---------------------------------------------------------------------------
+
+sim::Duration OqsServer::conservative_lease(sim::Duration granted) const {
+  if (granted >= sim::kTimeInfinity) return sim::kTimeInfinity;
+  return static_cast<sim::Duration>(static_cast<double>(granted) *
+                                    (1.0 - cfg_->max_drift));
+}
+
+void OqsServer::apply_vol_renew_reply(NodeId i, const msg::DqVolRenewReply& r,
+                                      std::vector<msg::DqVolRenewAck>*
+                                          batch_acks) {
+  auto& vs = vol_state_[{r.volume, i}];
+  // Conservative expiry: from OUR send time t0, shortened by worst-case
+  // drift (Figure 5, processVLRenewReply).
+  const sim::Duration eff = conservative_lease(r.lease_length);
+  const sim::Time exp = eff >= sim::kTimeInfinity ? sim::kTimeInfinity
+                                                  : r.requestor_time + eff;
+  vs.expires = std::max(vs.expires, exp);
+  vs.epoch = std::max(vs.epoch, r.epoch);
+
+  LogicalClock max_applied;
+  for (const msg::Invalidation& inv : r.delayed) {
+    apply_invalidation(i, inv.object, inv.clock);
+    max_applied = std::max(max_applied, inv.clock);
+  }
+  if (!r.delayed.empty()) {
+    if (batch_acks != nullptr) {
+      batch_acks->push_back({r.volume, max_applied});
+    } else {
+      world_.send(self_, i, RequestId(0),
+                  msg::DqVolRenewAck{r.volume, max_applied});
+    }
+  }
+}
+
+void OqsServer::apply_obj_renew_reply(NodeId i, const msg::DqObjRenewReply& r) {
+  auto& st = obj_state_[r.object][i];
+  st.epoch = std::max(st.epoch, r.epoch);
+  if (st.clock <= r.clock) {
+    st.clock = r.clock;
+    st.valid = true;
+    // Conservative object-lease expiry, measured from OUR send time
+    // (kTimeInfinity when the deployment uses callbacks).
+    const sim::Duration eff = conservative_lease(r.lease_length);
+    st.expires = eff >= sim::kTimeInfinity
+                     ? sim::kTimeInfinity
+                     : std::max(st.expires == sim::kTimeInfinity
+                                    ? 0
+                                    : st.expires,
+                                r.requestor_time + eff);
+    // Keep value_o at the highest clock seen in any update.
+    store_.apply(r.object, r.value, r.clock);
+  }
+}
+
+void OqsServer::apply_invalidation(NodeId i, ObjectId o, LogicalClock lc) {
+  auto& st = obj_state_[o][i];
+  if (lc > st.clock) {
+    st.clock = lc;
+    st.valid = false;
+  }
+}
+
+void OqsServer::handle_inval(const sim::Envelope& env, const msg::DqInval& m) {
+  apply_invalidation(env.src, m.object, m.clock);
+  world_.reply(self_, env, msg::DqInvalAck{m.object, m.clock});
+  poke_pending();
+}
+
+// ---------------------------------------------------------------------------
+// Proactive volume renewal (ablation; keeps read hits local by renewing
+// leases slightly before they expire instead of on the first miss)
+// ---------------------------------------------------------------------------
+
+void OqsServer::prefetch(VolumeId v, std::function<void(bool ok)> done) {
+  // Fetch from EVERY IQS member: an object written to a write quorum is
+  // stored by exactly those members, and condition C needs object grants
+  // from a full read quorum -- so only the union of all members' volume
+  // contents guarantees hits for everything.  Best effort: a member that
+  // stays silent past the deadline just leaves some objects cold.
+  if (fetch_all_ == nullptr) {
+    fetch_all_ = quorum::ThresholdQuorum::rowa(cfg_->iqs->members());
+  }
+  rpc::QrpcOptions opts = cfg_->rpc;
+  if (opts.deadline == sim::kTimeInfinity) opts.deadline = sim::seconds(8);
+  engine_.call(
+      *fetch_all_, quorum::Kind::kWrite,  // "write" quorum of ROWA = all
+      [this, v](NodeId) -> std::optional<msg::Payload> {
+        return msg::DqVolFetch{v, local_now()};
+      },
+      [](NodeId, const msg::Payload&) {},
+      [done = std::move(done)](bool ok) { done(ok); }, opts);
+}
+
+void OqsServer::run_batched_renewal_round() {
+  // One DqVolRenewBatch per IQS member, covering every volume this node
+  // holds (or held) a lease on from that member.  Rounds run every third of
+  // a lease, so a lease is refreshed at least two-thirds of a lease before
+  // expiry -- comfortably ahead of renewal round trips and drift.
+  std::map<NodeId, msg::DqVolRenewBatch> batches;
+  for (const auto& [key, vs] : vol_state_) {
+    const auto& [v, i] = key;
+    batches[i].renewals.push_back({v, local_now()});
+  }
+  for (auto& [i, batch] : batches) {
+    world_.send(self_, i, RequestId(0), std::move(batch));
+  }
+  const sim::Duration period = std::max<sim::Duration>(
+      conservative_lease(cfg_->lease_length) / 3, sim::milliseconds(1));
+  world_.set_timer(self_, period, [this] { run_batched_renewal_round(); });
+}
+
+void OqsServer::maybe_schedule_proactive_renewal(VolumeId v) {
+  if (cfg_->is_basic()) return;  // infinite leases never need renewal
+  if (cfg_->batch_volume_renewals) {
+    // The periodic batched loop covers every leased volume; start it once.
+    if (proactive_active_.insert(VolumeId(UINT32_MAX)).second) {
+      run_batched_renewal_round();
+    }
+    return;
+  }
+  if (!proactive_active_.insert(v).second) return;
+  // Renew at 3/4 of the (conservative) lease length, repeatedly.
+  const sim::Duration period =
+      std::max<sim::Duration>(conservative_lease(cfg_->lease_length) * 3 / 4,
+                              sim::milliseconds(1));
+  world_.set_timer(self_, period, [this, v, period] {
+    proactive_active_.erase(v);
+    engine_.call_until(
+        *cfg_->iqs, quorum::Kind::kRead,
+        [this, v](NodeId i) -> std::optional<msg::Payload> {
+          // Renew from everyone we will count on; skip nodes whose lease is
+          // still comfortably fresh (more than half the lease remaining).
+          auto it = vol_state_.find({v, i});
+          const sim::Time fresh_until =
+              local_now() + conservative_lease(cfg_->lease_length) / 2;
+          if (it != vol_state_.end() && it->second.expires > fresh_until) {
+            return std::nullopt;
+          }
+          return msg::DqVolRenew{v, local_now()};
+        },
+        [](NodeId, const msg::Payload&) {},
+        [this, v] {
+          std::set<NodeId> held;
+          for (NodeId i : cfg_->iqs->members()) {
+            if (volume_lease_valid(v, i)) held.insert(i);
+          }
+          return cfg_->iqs->is_quorum(quorum::Kind::kRead, held);
+        },
+        [this, v](bool) { maybe_schedule_proactive_renewal(v); },
+        cfg_->rpc);
+  });
+}
+
+}  // namespace dq::core

@@ -1,0 +1,114 @@
+// OQS server: serves client reads from its cache, gated by condition C
+// (paper Figure 5 and section 3.2):
+//
+//   C(o): there exists an IQS read quorum irq such that this node holds,
+//         from every member of irq, BOTH a currently valid volume lease on
+//         o's volume AND a valid object lease on o (matching epoch, valid
+//         flag set).
+//
+// When C fails, the node runs the paper's QRPC variation against the IQS:
+// per target it sends a combined volume+object renewal, a volume renewal, or
+// an object renewal depending on which half is missing, and keeps
+// retransmitting to fresh quorums until C holds.
+//
+// All OQS state is soft: a crash clears it and the node simply re-renews.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/version.h"
+#include "core/config.h"
+#include "msg/wire.h"
+#include "rpc/qrpc.h"
+#include "sim/world.h"
+#include "store/object_store.h"
+
+namespace dq::core {
+
+class OqsServer {
+ public:
+  OqsServer(sim::World& world, NodeId self,
+            std::shared_ptr<const DqConfig> config);
+
+  bool on_message(const sim::Envelope& env);
+  void on_crash();
+
+  // Bulk revalidation: fetch the whole volume (lease + every stored object)
+  // from an IQS read quorum, so subsequent reads of its objects are hits.
+  // `done` fires once a full read quorum has answered.
+  void prefetch(VolumeId v, std::function<void(bool ok)> done);
+
+  // --- introspection -------------------------------------------------------
+  // Condition C for object o, evaluated on this node's local clock now.
+  [[nodiscard]] bool condition_c(ObjectId o) const;
+  [[nodiscard]] bool volume_lease_valid(VolumeId v, NodeId i) const;
+  [[nodiscard]] bool object_lease_valid(ObjectId o, NodeId i) const;
+  [[nodiscard]] VersionedValue cached(ObjectId o) const {
+    return store_.get(o);
+  }
+  [[nodiscard]] std::size_t pending_reads() const { return pending_.size(); }
+
+ private:
+  struct PerIqsObj {
+    msg::Epoch epoch = 0;        // epoch_{o,i}
+    LogicalClock clock;          // logicalClock_{o,i}
+    bool valid = false;          // valid_{o,i}
+    // Object-lease expiry (local clock); kTimeInfinity for callbacks.
+    sim::Time expires = sim::kTimeInfinity;
+  };
+  struct PerIqsVol {
+    msg::Epoch epoch = 0;        // epoch_{v,i}
+    sim::Time expires = 0;       // expires_{v,i}, local clock
+  };
+  struct PendingRead {
+    NodeId src;
+    RequestId rpc_id;
+    ObjectId object;
+    rpc::CallId call = 0;
+  };
+
+  // --- handlers -------------------------------------------------------------
+  void handle_read(const sim::Envelope& env, const msg::DqRead& m);
+  void handle_inval(const sim::Envelope& env, const msg::DqInval& m);
+  // When `batch_acks` is non-null, per-volume acknowledgements are
+  // collected there instead of sent individually.
+  void apply_vol_renew_reply(NodeId i, const msg::DqVolRenewReply& r,
+                             std::vector<msg::DqVolRenewAck>* batch_acks =
+                                 nullptr);
+  void apply_obj_renew_reply(NodeId i, const msg::DqObjRenewReply& r);
+  void apply_invalidation(NodeId i, ObjectId o, LogicalClock lc);
+
+  void start_read_machine(std::uint64_t key);
+  void finish_read(std::uint64_t key, bool ok);
+  void poke_pending();
+  void reply_to_read(const PendingRead& pr);
+
+  void maybe_schedule_proactive_renewal(VolumeId v);
+  void run_batched_renewal_round();
+
+  [[nodiscard]] sim::Time local_now() const {
+    return world_.local_now(self_);
+  }
+  [[nodiscard]] sim::Duration conservative_lease(sim::Duration granted) const;
+
+  sim::World& world_;
+  NodeId self_;
+  std::shared_ptr<const DqConfig> cfg_;
+  rpc::QrpcEngine engine_;
+
+  store::ObjectStore store_;  // value_o
+  std::unordered_map<ObjectId, std::map<NodeId, PerIqsObj>> obj_state_;
+  std::map<std::pair<VolumeId, NodeId>, PerIqsVol> vol_state_;
+  std::map<std::uint64_t, PendingRead> pending_;
+  std::uint64_t next_pending_ = 1;
+  std::set<VolumeId> proactive_active_;
+  // Lazily built "contact every IQS member" system for prefetch.
+  std::shared_ptr<const quorum::QuorumSystem> fetch_all_;
+};
+
+}  // namespace dq::core

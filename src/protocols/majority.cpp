@@ -1,0 +1,76 @@
+#include "protocols/majority.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/processing.h"
+
+namespace dq::protocols {
+
+bool MajorityServer::on_message(const sim::Envelope& env) {
+  const bool mine = std::holds_alternative<msg::MajRead>(env.body) ||
+                    std::holds_alternative<msg::MajLcRead>(env.body) ||
+                    std::holds_alternative<msg::MajWrite>(env.body);
+  if (!mine) return false;
+  sim::defer_processing(world_, self_, [this, env] { handle(env); });
+  return true;
+}
+
+void MajorityServer::handle(const sim::Envelope& env) {
+  if (const auto* m = std::get_if<msg::MajRead>(&env.body)) {
+    const VersionedValue vv = store_.get(m->object);
+    world_.reply(self_, env,
+                 msg::MajReadReply{m->object, vv.value, vv.clock});
+  } else if (const auto* m = std::get_if<msg::MajLcRead>(&env.body)) {
+    world_.reply(self_, env,
+                 msg::MajLcReadReply{m->object, store_.clock_of(m->object)});
+  } else if (const auto* m = std::get_if<msg::MajWrite>(&env.body)) {
+    store_.apply(m->object, m->value, m->clock);
+    world_.reply(self_, env,
+                 msg::MajWriteAck{m->object, m->clock});
+  }
+}
+
+void MajorityClient::read(ObjectId o, ReadCallback done) {
+  auto best = std::make_shared<VersionedValue>();
+  engine_.call(
+      *system_, quorum::Kind::kRead,
+      [o](NodeId) -> std::optional<msg::Payload> { return msg::MajRead{o}; },
+      [best](NodeId, const msg::Payload& p) {
+        if (const auto* r = std::get_if<msg::MajReadReply>(&p)) {
+          if (r->clock >= best->clock) *best = {r->value, r->clock};
+        }
+      },
+      [best, done = std::move(done)](bool ok) { done(ok, *best); }, opts_);
+}
+
+void MajorityClient::write(ObjectId o, Value value, WriteCallback done) {
+  auto max_lc = std::make_shared<LogicalClock>();
+  engine_.call(
+      *system_, quorum::Kind::kRead,
+      [o](NodeId) -> std::optional<msg::Payload> { return msg::MajLcRead{o}; },
+      [max_lc](NodeId, const msg::Payload& p) {
+        if (const auto* r = std::get_if<msg::MajLcReadReply>(&p)) {
+          *max_lc = std::max(*max_lc, r->clock);
+        }
+      },
+      [this, o, value = std::move(value), max_lc,
+       done = std::move(done)](bool ok) mutable {
+        if (!ok) {
+          done(false, LogicalClock{});
+          return;
+        }
+        const LogicalClock lc = max_lc->advanced_by(writer_id_);
+        engine_.call(
+            *system_, quorum::Kind::kWrite,
+            [o, lc, value](NodeId) -> std::optional<msg::Payload> {
+              return msg::MajWrite{o, value, lc};
+            },
+            [](NodeId, const msg::Payload&) {},
+            [lc, done = std::move(done)](bool ok2) { done(ok2, lc); }, opts_);
+      },
+      opts_);
+}
+
+}  // namespace dq::protocols

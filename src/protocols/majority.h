@@ -1,0 +1,60 @@
+// Majority-quorum replicated register (Gifford / Thomas weighted voting with
+// equal votes).
+//
+// Reads gather a majority and take the highest-clock reply.  Writes are two
+// phases: read the highest clock from a majority, advance it, write to a
+// majority.  This provides regular semantics and is the paper's primary
+// strong-consistency baseline.
+#pragma once
+
+#include <memory>
+
+#include "protocols/service_client.h"
+#include "quorum/quorum.h"
+#include "rpc/qrpc.h"
+#include "store/object_store.h"
+
+namespace dq::protocols {
+
+class MajorityServer {
+ public:
+  MajorityServer(sim::World& world, NodeId self)
+      : world_(world), self_(self) {}
+
+  bool on_message(const sim::Envelope& env);
+
+  [[nodiscard]] const store::ObjectStore& store() const { return store_; }
+
+ private:
+  void handle(const sim::Envelope& env);
+
+  sim::World& world_;
+  NodeId self_;
+  store::ObjectStore store_;
+};
+
+class MajorityClient final : public ServiceClient {
+ public:
+  MajorityClient(sim::World& world, NodeId self,
+                 std::shared_ptr<const quorum::QuorumSystem> system,
+                 rpc::QrpcOptions opts = {})
+      : world_(world), self_(self), system_(std::move(system)),
+        engine_(world_, self_), opts_(opts), writer_id_(self_.value()) {}
+
+  void read(ObjectId o, ReadCallback done) override;
+  void write(ObjectId o, Value value, WriteCallback done) override;
+  bool on_message(const sim::Envelope& env) override {
+    return engine_.on_reply(env);
+  }
+  void cancel_all() override { engine_.cancel_all(); }
+
+ private:
+  sim::World& world_;
+  NodeId self_;
+  std::shared_ptr<const quorum::QuorumSystem> system_;
+  rpc::QrpcEngine engine_;
+  rpc::QrpcOptions opts_;
+  ClientId writer_id_;
+};
+
+}  // namespace dq::protocols

@@ -1,0 +1,128 @@
+#include "protocols/primary_backup.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "sim/processing.h"
+
+namespace dq::protocols {
+
+PbServer::PbServer(sim::World& world, NodeId self,
+                   std::shared_ptr<const PbConfig> cfg)
+    : world_(world), self_(self), cfg_(std::move(cfg)),
+      engine_(world_, self_) {
+  std::vector<NodeId> backups;
+  for (NodeId r : cfg_->replicas) {
+    if (r != cfg_->primary) backups.push_back(r);
+  }
+  if (!backups.empty()) {
+    // Synchronous propagation must reach every backup: a ROWA-shaped system
+    // over the backups (write quorum = all).
+    backups_ = quorum::ThresholdQuorum::rowa(std::move(backups));
+  }
+}
+
+bool PbServer::on_message(const sim::Envelope& env) {
+  if (std::holds_alternative<msg::PbRead>(env.body) ||
+      std::holds_alternative<msg::PbWrite>(env.body)) {
+    // Client-facing: only the primary serves these, after the processing
+    // delay.  A non-primary silently ignores them (clients only target the
+    // primary; anything else is a stray).
+    if (!is_primary()) return true;
+    sim::defer_processing(world_, self_, [this, env] { handle(env); });
+    return true;
+  }
+  if (std::holds_alternative<msg::PbSync>(env.body)) {
+    handle(env);
+    return true;
+  }
+  if (std::holds_alternative<msg::PbSyncAck>(env.body)) {
+    return engine_.on_reply(env);
+  }
+  return false;
+}
+
+void PbServer::handle(const sim::Envelope& env) {
+  if (const auto* m = std::get_if<msg::PbRead>(&env.body)) {
+    const VersionedValue vv = store_.get(m->object);
+    world_.reply(self_, env,
+                 msg::PbReadReply{m->object, vv.value, vv.clock});
+  } else if (const auto* m = std::get_if<msg::PbWrite>(&env.body)) {
+    // The primary orders writes; clients carry no clock.  Retransmissions
+    // (same client + rpc id) must not be applied twice.
+    const auto key = std::make_pair(env.src, env.rpc_id);
+    if (auto it = applied_.find(key); it != applied_.end()) {
+      world_.reply(self_, env, msg::PbWriteAck{m->object, it->second});
+      return;
+    }
+    const LogicalClock lc{++write_seq_, self_.value()};
+    applied_.emplace(key, lc);
+    store_.apply(m->object, m->value, lc);
+    propagate(m->object, m->value, lc, env);
+  } else if (const auto* m = std::get_if<msg::PbSync>(&env.body)) {
+    store_.apply(m->object, m->value, m->clock);
+    world_.reply(self_, env,
+                 msg::PbSyncAck{m->object, m->clock});
+  }
+}
+
+void PbServer::propagate(ObjectId o, const Value& v, LogicalClock lc,
+                         const sim::Envelope& client_env) {
+  const NodeId client = client_env.src;
+  const RequestId rpc = client_env.rpc_id;
+  if (backups_ == nullptr) {
+    world_.send_tagged(self_, client, rpc, msg::PbWriteAck{o, lc}, true);
+    return;
+  }
+  if (cfg_->mode == PbMode::kAsyncPropagation) {
+    // Ack first, push to backups in the background (one client round trip,
+    // as the paper's Figure 6 assumes for primary/backup).
+    world_.send_tagged(self_, client, rpc, msg::PbWriteAck{o, lc}, true);
+    for (NodeId b : backups_->members()) {
+      world_.send(self_, b, RequestId(0), msg::PbSync{o, v, lc});
+    }
+    return;
+  }
+  engine_.call(
+      *backups_, quorum::Kind::kWrite,
+      [o, v, lc](NodeId) -> std::optional<msg::Payload> {
+        return msg::PbSync{o, v, lc};
+      },
+      [](NodeId, const msg::Payload&) {},
+      [this, o, lc, client, rpc](bool ok) {
+        DQ_INVARIANT(ok, "sync propagation has no deadline");
+        world_.send_tagged(self_, client, rpc, msg::PbWriteAck{o, lc},
+                           true);
+      },
+      cfg_->rpc);
+}
+
+void PbClient::read(ObjectId o, ReadCallback done) {
+  auto best = std::make_shared<VersionedValue>();
+  engine_.call(
+      *primary_only_, quorum::Kind::kRead,
+      [o](NodeId) -> std::optional<msg::Payload> { return msg::PbRead{o}; },
+      [best](NodeId, const msg::Payload& p) {
+        if (const auto* r = std::get_if<msg::PbReadReply>(&p)) {
+          *best = {r->value, r->clock};
+        }
+      },
+      [best, done = std::move(done)](bool ok) { done(ok, *best); },
+      cfg_->rpc);
+}
+
+void PbClient::write(ObjectId o, Value value, WriteCallback done) {
+  auto got = std::make_shared<LogicalClock>();
+  engine_.call(
+      *primary_only_, quorum::Kind::kWrite,
+      [o, value](NodeId) -> std::optional<msg::Payload> {
+        return msg::PbWrite{o, value};
+      },
+      [got](NodeId, const msg::Payload& p) {
+        if (const auto* r = std::get_if<msg::PbWriteAck>(&p)) *got = r->clock;
+      },
+      [got, done = std::move(done)](bool ok) { done(ok, *got); }, cfg_->rpc);
+}
+
+}  // namespace dq::protocols

@@ -1,0 +1,61 @@
+#include "protocols/rowa.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/processing.h"
+
+namespace dq::protocols {
+
+bool RowaServer::on_message(const sim::Envelope& env) {
+  if (!std::holds_alternative<msg::RowaRead>(env.body) &&
+      !std::holds_alternative<msg::RowaWrite>(env.body)) {
+    return false;
+  }
+  sim::defer_processing(world_, self_, [this, env] { handle(env); });
+  return true;
+}
+
+void RowaServer::handle(const sim::Envelope& env) {
+  if (const auto* m = std::get_if<msg::RowaRead>(&env.body)) {
+    const VersionedValue vv = store_.get(m->object);
+    world_.reply(self_, env,
+                 msg::RowaReadReply{m->object, vv.value, vv.clock});
+  } else if (const auto* m = std::get_if<msg::RowaWrite>(&env.body)) {
+    store_.apply(m->object, m->value, m->clock);
+    world_.reply(self_, env,
+                 msg::RowaWriteAck{m->object, m->clock});
+  }
+}
+
+void RowaClient::read(ObjectId o, ReadCallback done) {
+  auto best = std::make_shared<VersionedValue>();
+  engine_.call(
+      *system_, quorum::Kind::kRead,
+      [o](NodeId) -> std::optional<msg::Payload> { return msg::RowaRead{o}; },
+      [this, best](NodeId, const msg::Payload& p) {
+        if (const auto* r = std::get_if<msg::RowaReadReply>(&p)) {
+          if (r->clock >= best->clock) *best = {r->value, r->clock};
+          seen_ = std::max(seen_, r->clock);
+        }
+      },
+      [best, done = std::move(done)](bool ok) { done(ok, *best); }, opts_);
+}
+
+void RowaClient::write(ObjectId o, Value value, WriteCallback done) {
+  // One round trip: stamp from the colocated replica's clock (see header).
+  LogicalClock base = seen_;
+  if (local_ != nullptr) base = std::max(base, local_->store().clock_of(o));
+  const LogicalClock lc = base.advanced_by(writer_id_);
+  seen_ = std::max(seen_, lc);
+  engine_.call(
+      *system_, quorum::Kind::kWrite,
+      [o, lc, value = std::move(value)](NodeId) -> std::optional<msg::Payload> {
+        return msg::RowaWrite{o, value, lc};
+      },
+      [](NodeId, const msg::Payload&) {},
+      [lc, done = std::move(done)](bool ok) { done(ok, lc); }, opts_);
+}
+
+}  // namespace dq::protocols

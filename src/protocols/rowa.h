@@ -1,0 +1,69 @@
+// ROWA: read-one / write-all, synchronous.
+//
+// Reads are served by any single replica (the client's local one when the
+// client is colocated with a replica).  Writes go to every replica and
+// complete only when all have acked -- excellent read latency, poor write
+// availability.
+//
+// Write ordering: the writing front end is colocated with a replica, so it
+// stamps the write with (local replica clock + 1).  Because a completed
+// write reached ALL replicas, any later writer's local replica already holds
+// a clock at least as high, which keeps the clock order consistent with
+// real-time order for non-concurrent writes (regular semantics).
+#pragma once
+
+#include <memory>
+
+#include "protocols/service_client.h"
+#include "quorum/quorum.h"
+#include "rpc/qrpc.h"
+#include "store/object_store.h"
+
+namespace dq::protocols {
+
+class RowaServer {
+ public:
+  RowaServer(sim::World& world, NodeId self) : world_(world), self_(self) {}
+
+  bool on_message(const sim::Envelope& env);
+  [[nodiscard]] const store::ObjectStore& store() const { return store_; }
+
+ private:
+  void handle(const sim::Envelope& env);
+
+  sim::World& world_;
+  NodeId self_;
+  store::ObjectStore store_;
+};
+
+class RowaClient final : public ServiceClient {
+ public:
+  // `local_replica` is the replica colocated with this client's node (null
+  // when the client runs off-replica; it then orders writes with a private
+  // monotonic counter seeded by its read replies).
+  RowaClient(sim::World& world, NodeId self,
+             std::shared_ptr<const quorum::QuorumSystem> system,
+             const RowaServer* local_replica, rpc::QrpcOptions opts = {})
+      : world_(world), self_(self), system_(std::move(system)),
+        local_(local_replica), engine_(world_, self_), opts_(opts),
+        writer_id_(self_.value()) {}
+
+  void read(ObjectId o, ReadCallback done) override;
+  void write(ObjectId o, Value value, WriteCallback done) override;
+  bool on_message(const sim::Envelope& env) override {
+    return engine_.on_reply(env);
+  }
+  void cancel_all() override { engine_.cancel_all(); }
+
+ private:
+  sim::World& world_;
+  NodeId self_;
+  std::shared_ptr<const quorum::QuorumSystem> system_;
+  const RowaServer* local_;
+  rpc::QrpcEngine engine_;
+  rpc::QrpcOptions opts_;
+  ClientId writer_id_;
+  LogicalClock seen_;  // highest clock observed in replies
+};
+
+}  // namespace dq::protocols

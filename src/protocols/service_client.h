@@ -1,0 +1,34 @@
+// The protocol-independent service-client interface.
+//
+// Every replication protocol in the repository exposes the same read/write
+// register API to the service layer, so the workload driver, the examples,
+// and the consistency checker run unchanged across DQVL and the four
+// baselines.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "common/version.h"
+#include "sim/world.h"
+
+namespace dq::protocols {
+
+class ServiceClient {
+ public:
+  using ReadCallback = std::function<void(bool ok, VersionedValue)>;
+  using WriteCallback = std::function<void(bool ok, LogicalClock)>;
+
+  virtual ~ServiceClient() = default;
+
+  virtual void read(ObjectId o, ReadCallback done) = 0;
+  virtual void write(ObjectId o, Value value, WriteCallback done) = 0;
+
+  // Host actors forward incoming envelopes here; returns true if consumed.
+  virtual bool on_message(const sim::Envelope& env) = 0;
+
+  // Abandon in-flight operations (host crashed).
+  virtual void cancel_all() = 0;
+};
+
+}  // namespace dq::protocols

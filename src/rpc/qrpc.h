@@ -1,0 +1,128 @@
+// QRPC: quorum-based remote procedure call (paper, section 2).
+//
+//   replies = QRPC(system, READ/WRITE, request)
+//
+// "sends request to a collection of nodes in the specified quorum system
+//  ... blocks until a set of replies constituting the specified quorum have
+//  been gathered."
+//
+// Because actors in the simulator are event-driven, QRPC here is a
+// continuation-based state machine rather than a blocking call.  It
+// implements the paper's prototype policy: include the local node when it is
+// a member, fill the quorum with randomly selected members, and retransmit
+// to a freshly selected random quorum on an exponentially increasing
+// interval.
+//
+// Two generalizations required by DQVL (section 3.2):
+//   * per-node request builders -- "this variation sends different requests
+//     to different nodes";
+//   * an arbitrary completion predicate -- "processes replies until
+//     condition C becomes true" -- re-evaluated on every reply and on
+//     `poke()` (lease expiry can complete an IQS write with no message).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "msg/wire.h"
+#include "quorum/quorum.h"
+#include "sim/world.h"
+
+namespace dq::rpc {
+
+struct QrpcOptions {
+  sim::Duration initial_timeout = sim::milliseconds(400);
+  double backoff = 2.0;
+  sim::Duration max_timeout = sim::seconds(8);
+  // Give up after this long; on_complete(false) fires.  The availability
+  // experiments use finite deadlines to turn partitions into rejections.
+  sim::Duration deadline = sim::kTimeInfinity;
+};
+
+// Identifies an in-flight call, for cancellation.
+using CallId = std::uint64_t;
+
+class QrpcEngine {
+ public:
+  // Build a request for one target; nullopt means "nothing to send to this
+  // node" (e.g. an IQS write that knows node j's cached copy is already
+  // invalid).
+  using BuildRequest = std::function<std::optional<msg::Payload>(NodeId)>;
+  // A reply arrived from `src`.  The callback updates caller state; the
+  // engine then re-evaluates `done`.
+  using OnReply = std::function<void(NodeId src, const msg::Payload&)>;
+  using Done = std::function<bool()>;
+  using OnComplete = std::function<void(bool success)>;
+
+  QrpcEngine(sim::World& world, NodeId self)
+      : world_(world), self_(self) {}
+
+  ~QrpcEngine() { cancel_all(); }
+
+  QrpcEngine(const QrpcEngine&) = delete;
+  QrpcEngine& operator=(const QrpcEngine&) = delete;
+
+  // Classic QRPC: complete when replies from a `kind` quorum of `system`
+  // have been gathered.  `on_reply` sees each (first) reply.
+  CallId call(const quorum::QuorumSystem& system, quorum::Kind kind,
+              BuildRequest build, OnReply on_reply, OnComplete on_complete,
+              QrpcOptions opts = {});
+
+  // DQVL variation: complete when `done()` holds.  `done` is evaluated
+  // immediately (the call may complete without sending anything), after
+  // every reply, and on poke().
+  CallId call_until(const quorum::QuorumSystem& system, quorum::Kind kind,
+                    BuildRequest build, OnReply on_reply, Done done,
+                    OnComplete on_complete, QrpcOptions opts = {});
+
+  // Route an incoming envelope to the matching call.  Returns true if the
+  // envelope was a reply to a live call (consumed), false otherwise.
+  bool on_reply(const sim::Envelope& env);
+
+  // External state affecting some call's `done` changed (e.g. a volume
+  // lease expired).  Re-evaluates the predicate of the identified call.
+  void poke(CallId id);
+
+  void cancel(CallId id);
+  void cancel_all();
+
+  [[nodiscard]] std::size_t inflight() const { return calls_.size(); }
+
+  // Nodes that have replied to the given call so far (empty set if done).
+  [[nodiscard]] std::set<NodeId> responders(CallId id) const;
+
+ private:
+  struct Call {
+    RequestId rpc_id;
+    const quorum::QuorumSystem* system = nullptr;
+    quorum::Kind kind{};
+    BuildRequest build;
+    OnReply reply_cb;
+    Done done;
+    OnComplete complete_cb;
+    QrpcOptions opts;
+    sim::Duration cur_timeout = 0;
+    sim::Time deadline_at = sim::kTimeInfinity;
+    std::set<NodeId> responded;
+    sim::TimerToken retry_timer;
+  };
+
+  void transmit_round(CallId id);
+  void arm_retry(CallId id);
+  void finish(CallId id, bool success);
+  void check_done(CallId id);
+
+  sim::World& world_;
+  NodeId self_;
+  CallId next_call_ = 1;
+  std::map<CallId, Call> calls_;
+  std::map<std::uint64_t, CallId> by_rpc_id_;
+};
+
+}  // namespace dq::rpc

@@ -1,0 +1,55 @@
+// Per-node real-time clocks with bounded drift.
+//
+// The paper assumes "each node can read a local real-time clock and there
+// exists a maximum drift rate maxDrift between any pair of clocks"
+// (section 2).  We model each node's clock as
+//
+//     local(t) = offset + rate * t
+//
+// with rate drawn uniformly from [1 - maxDrift, 1 + maxDrift].  Lease
+// arithmetic in the DQVL implementation uses these local clocks only, so the
+// drift-safety of the lease protocol is exercised for real in tests.
+#pragma once
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace dq::sim {
+
+class DriftClock {
+ public:
+  // A perfect clock (rate 1, offset 0).
+  DriftClock() = default;
+
+  DriftClock(Duration offset, double rate) : offset_(offset), rate_(rate) {}
+
+  // Random clock within the drift envelope: rate in [1-maxDrift, 1+maxDrift],
+  // offset in [0, maxOffset].
+  static DriftClock random(Rng& rng, double max_drift, Duration max_offset) {
+    const double rate = 1.0 + max_drift * (2.0 * rng.uniform() - 1.0);
+    const auto offset = static_cast<Duration>(
+        rng.uniform() * static_cast<double>(max_offset));
+    return DriftClock(offset, rate);
+  }
+
+  [[nodiscard]] Time local_time(Time global_now) const {
+    return offset_ +
+           static_cast<Time>(rate_ * static_cast<double>(global_now));
+  }
+
+  // Inverse mapping: the global time at which this clock shows `local`.
+  // Used by the simulator to schedule "fire when my local clock reaches T"
+  // timers.
+  [[nodiscard]] Time global_time(Time local) const {
+    return static_cast<Time>(static_cast<double>(local - offset_) / rate_);
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] Duration offset() const { return offset_; }
+
+ private:
+  Duration offset_ = 0;
+  double rate_ = 1.0;
+};
+
+}  // namespace dq::sim

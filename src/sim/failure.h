@@ -1,0 +1,72 @@
+// Randomized failure injection: drives each chosen node through alternating
+// up/down periods with exponential durations, yielding a steady-state
+// per-node unavailability of mttr / (mttf + mttr).
+//
+// Used by the Monte-Carlo cross-check of the paper's analytical availability
+// model (Figure 8): the model assumes independent per-node unavailability p;
+// the injector realizes exactly that.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/world.h"
+
+namespace dq::sim {
+
+class FailureInjector {
+ public:
+  struct Params {
+    Duration mean_time_to_failure = seconds(99);
+    Duration mean_time_to_repair = seconds(1);
+
+    [[nodiscard]] double steady_state_unavailability() const {
+      return static_cast<double>(mean_time_to_repair) /
+             static_cast<double>(mean_time_to_failure + mean_time_to_repair);
+    }
+
+    // Convenience: pick MTTR for a target unavailability p at a given MTTF.
+    static Params for_unavailability(double p, Duration mttf) {
+      Params out;
+      out.mean_time_to_failure = mttf;
+      out.mean_time_to_repair =
+          static_cast<Duration>(p / (1.0 - p) * static_cast<double>(mttf));
+      return out;
+    }
+  };
+
+  FailureInjector(World& world, Params params)
+      : world_(world), params_(params) {}
+
+  // Begin injecting failures on `nodes`.  Each node gets an independent
+  // exponential up/down renewal process (failures modelled as
+  // unreachability, matching the paper's combined "server crashes and
+  // network failures" unit).
+  void start(const std::vector<NodeId>& nodes) {
+    for (NodeId n : nodes) schedule_failure(n);
+  }
+
+ private:
+  void schedule_failure(NodeId n) {
+    const auto up_for = static_cast<Duration>(world_.rng().exponential(
+        static_cast<double>(params_.mean_time_to_failure)));
+    world_.scheduler().schedule_after(up_for, [this, n] {
+      world_.set_up(n, false);
+      schedule_repair(n);
+    });
+  }
+
+  void schedule_repair(NodeId n) {
+    const auto down_for = static_cast<Duration>(world_.rng().exponential(
+        static_cast<double>(params_.mean_time_to_repair)));
+    world_.scheduler().schedule_after(down_for, [this, n] {
+      world_.set_up(n, true);
+      schedule_failure(n);
+    });
+  }
+
+  World& world_;
+  Params params_;
+};
+
+}  // namespace dq::sim

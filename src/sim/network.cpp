@@ -1,0 +1,81 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace dq::sim {
+
+Topology::Topology(Params p) : p_(p) {
+  DQ_INVARIANT(p_.num_servers > 0, "topology needs at least one server");
+  home_.resize(p_.num_clients);
+  for (std::size_t i = 0; i < p_.num_clients; ++i) {
+    home_[i] = server(i % p_.num_servers);
+  }
+}
+
+std::vector<NodeId> Topology::servers() const {
+  std::vector<NodeId> out;
+  out.reserve(p_.num_servers);
+  for (std::size_t i = 0; i < p_.num_servers; ++i) out.push_back(server(i));
+  return out;
+}
+
+std::vector<NodeId> Topology::clients() const {
+  std::vector<NodeId> out;
+  out.reserve(p_.num_clients);
+  for (std::size_t i = 0; i < p_.num_clients; ++i) out.push_back(client(i));
+  return out;
+}
+
+NodeId Topology::home_of(NodeId c) const {
+  DQ_INVARIANT(is_client(c), "home_of takes a client id");
+  return home_.at(c.value() - p_.num_servers);
+}
+
+void Topology::set_home(NodeId client_id, NodeId server_id) {
+  DQ_INVARIANT(is_client(client_id) && is_server(server_id),
+               "set_home(client, server)");
+  home_.at(client_id.value() - p_.num_servers) = server_id;
+}
+
+Duration Topology::one_way_delay(NodeId src, NodeId dst, Rng& rng) const {
+  Duration base = 0;
+  if (src == dst) {
+    base = 0;  // loopback: a node talking to itself costs nothing on the wire
+  } else if (is_server(src) && is_server(dst)) {
+    base = p_.server_to_server;
+  } else {
+    // Exactly one endpoint is a client (clients never talk to each other).
+    const NodeId c = is_client(src) ? src : dst;
+    const NodeId s = is_client(src) ? dst : src;
+    DQ_INVARIANT(is_server(s), "client-to-client traffic is not modelled");
+    base = (home_of(c) == s) ? p_.client_to_home : p_.client_to_remote;
+  }
+  if (p_.jitter > 0.0 && base > 0) {
+    base += static_cast<Duration>(static_cast<double>(base) * p_.jitter *
+                                  rng.uniform());
+  }
+  return base;
+}
+
+void MessageStats::count(const msg::Payload& p) {
+  ++total_;
+  bytes_ += msg::approximate_size(p);
+  if (msg::is_server_to_server(p)) ++s2s_;
+  ++by_type_[msg::payload_name(p)];
+}
+
+std::uint64_t MessageStats::by_type(const std::string& name) const {
+  auto it = by_type_.find(name);
+  return it == by_type_.end() ? 0 : it->second;
+}
+
+void MessageStats::reset() {
+  total_ = 0;
+  bytes_ = 0;
+  s2s_ = 0;
+  by_type_.clear();
+}
+
+}  // namespace dq::sim

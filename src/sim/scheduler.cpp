@@ -1,0 +1,39 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dq::sim {
+
+TimerToken Scheduler::schedule_at(Time when, std::function<void()> fn) {
+  DQ_INVARIANT(fn != nullptr, "scheduled callback must be callable");
+  if (when < now_) when = now_;  // no scheduling into the past
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, alive, std::move(fn)});
+  return TimerToken(std::move(alive));
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) break;
+    // Copy out before pop: the callback may schedule new events and
+    // invalidate the reference.
+    Event ev = top;
+    queue_.pop();
+    DQ_INVARIANT(ev.when >= now_, "event queue must be monotone");
+    now_ = ev.when;
+    if (*ev.alive) {
+      *ev.alive = false;  // one-shot
+      ev.fn();
+      ++ran;
+      ++executed_;
+    }
+  }
+  if (now_ < deadline && deadline < kTimeInfinity) now_ = deadline;
+  return ran;
+}
+
+}  // namespace dq::sim

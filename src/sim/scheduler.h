@@ -1,0 +1,78 @@
+// The discrete-event scheduler: a priority queue of timestamped callbacks
+// plus the virtual clock.
+//
+// Determinism: events at equal times fire in insertion order (a strictly
+// increasing sequence number breaks ties), so a given seed always produces
+// the same execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dq::sim {
+
+// Handle used to cancel a scheduled event.  Cancellation is lazy: the event
+// stays in the queue but is skipped when popped.
+class TimerToken {
+ public:
+  TimerToken() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Scheduler;
+  explicit TimerToken(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `when` (clamped to now).
+  TimerToken schedule_at(Time when, std::function<void()> fn);
+
+  TimerToken schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Run events until the queue drains or `deadline` is reached, whichever is
+  // first.  Returns the number of events executed.
+  std::size_t run_until(Time deadline);
+
+  // Run until the queue drains completely (use with care: protocols with
+  // periodic timers never drain; prefer run_until).
+  std::size_t run_all() { return run_until(kTimeInfinity); }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<bool> alive;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dq::sim

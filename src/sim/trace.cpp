@@ -1,0 +1,19 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+
+namespace dq::sim {
+
+void Tracer::dump(std::ostream& os, const std::string& category,
+                  std::size_t last_n) const {
+  const auto selected = filter(category);
+  const std::size_t start =
+      selected.size() > last_n ? selected.size() - last_n : 0;
+  for (std::size_t i = start; i < selected.size(); ++i) {
+    const TraceEvent& e = selected[i];
+    os << '[' << std::setw(10) << to_ms(e.at) << " ms] n" << e.node.value()
+       << ' ' << e.category << ": " << e.detail << '\n';
+  }
+}
+
+}  // namespace dq::sim

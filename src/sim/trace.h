@@ -1,0 +1,70 @@
+// Structured protocol tracing.
+//
+// When enabled, the world records network-level events automatically and
+// protocol code emits decision points (read hit/miss, write suppress/
+// through, lease grants and expiries, delayed-invalidation queueing, epoch
+// bumps).  Traces are the debugging surface for protocol work: the
+// failover_drill example prints one, and tests assert on recorded decisions
+// instead of inferring them from message counts.
+//
+// Disabled (the default) the cost is one branch per emit site.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/time.h"
+
+namespace dq::sim {
+
+struct TraceEvent {
+  Time at = 0;
+  NodeId node;
+  std::string category;  // e.g. "read", "write", "lease", "net", "fault"
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(Time at, NodeId node, std::string category, std::string detail) {
+    if (!enabled_) return;
+    events_.push_back(
+        {at, node, std::move(category), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  // Events matching a category (empty = all), most recent last.
+  [[nodiscard]] std::vector<TraceEvent> filter(
+      const std::string& category) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (category.empty() || e.category == category) out.push_back(e);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t count(const std::string& category) const {
+    std::size_t n = 0;
+    for (const TraceEvent& e : events_) n += e.category == category ? 1 : 0;
+    return n;
+  }
+
+  void dump(std::ostream& os, const std::string& category = {},
+            std::size_t last_n = SIZE_MAX) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dq::sim

@@ -1,0 +1,120 @@
+#include "sim/world.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dq::sim {
+
+World::World(Topology topology, std::uint64_t seed)
+    : topo_(std::move(topology)),
+      rng_(seed),
+      faults_(topo_.num_nodes()),
+      actors_(topo_.num_nodes(), nullptr),
+      clocks_(topo_.num_nodes()),
+      crashed_(topo_.num_nodes(), false),
+      incarnation_(topo_.num_nodes(), 0),
+      sent_by_(topo_.num_nodes(), 0),
+      received_by_(topo_.num_nodes(), 0) {}
+
+void World::attach(NodeId node, Actor& actor) {
+  DQ_INVARIANT(node.value() < actors_.size(), "node id out of range");
+  DQ_INVARIANT(actors_[node.value()] == nullptr,
+               "a node hosts exactly one actor");
+  actor.world_ = this;
+  actor.id_ = node;
+  actors_[node.value()] = &actor;
+}
+
+void World::set_clock(NodeId node, DriftClock clock) {
+  clocks_.at(node.value()) = clock;
+}
+
+void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
+                        msg::Payload body, bool is_reply) {
+  if (!faults_.is_up(src) || crashed_.at(src.value())) {
+    return;  // a dead or disconnected node cannot put anything on the wire
+  }
+  stats_.count(body);
+  ++sent_by_.at(src.value());
+  if (tracer_.enabled()) {
+    tracer_.emit(now(), src, "net",
+                 std::string(is_reply ? "reply " : "send ") +
+                     msg::payload_name(body) + " -> n" +
+                     std::to_string(dst.value()));
+  }
+  if (!faults_.reachable(src, dst)) {
+    ++dropped_;
+    return;
+  }
+  const int copies = faults_.duplication_probability() > 0.0 &&
+                             rng_.chance(faults_.duplication_probability())
+                         ? 2
+                         : 1;
+  for (int c = 0; c < copies; ++c) {
+    if (faults_.loss_probability() > 0.0 &&
+        rng_.chance(faults_.loss_probability())) {
+      ++dropped_;
+      continue;
+    }
+    const Duration delay = topo_.one_way_delay(src, dst, rng_);
+    Envelope env{src, dst, rpc_id, body, is_reply};
+    sched_.schedule_after(delay, [this, env = std::move(env)]() mutable {
+      deliver(std::move(env));
+    });
+  }
+}
+
+void World::deliver(Envelope env) {
+  const auto idx = env.dst.value();
+  // Reachability is also checked at delivery time so that a partition that
+  // started while the message was in flight eats it (a message cannot
+  // outrun a partition in this model; good enough for the experiments).
+  if (!faults_.is_up(env.dst) || crashed_.at(idx)) {
+    ++dropped_;
+    return;
+  }
+  Actor* a = actors_.at(idx);
+  DQ_INVARIANT(a != nullptr, "message addressed to a node with no actor");
+  ++received_by_.at(idx);
+  a->on_message(env);
+}
+
+TimerToken World::set_timer(NodeId node, Duration delay,
+                            std::function<void()> fn) {
+  const auto idx = node.value();
+  const std::uint64_t inc = incarnation_.at(idx);
+  return sched_.schedule_after(
+      delay, [this, idx, inc, fn = std::move(fn)]() {
+        if (crashed_.at(idx) || incarnation_.at(idx) != inc) return;
+        fn();
+      });
+}
+
+TimerToken World::set_timer_local(NodeId node, Time local_when,
+                                  std::function<void()> fn) {
+  const Time global_when = clock_of(node).global_time(local_when);
+  const Duration delay = global_when - now();
+  return set_timer(node, delay < 0 ? 0 : delay, std::move(fn));
+}
+
+void World::crash(NodeId node) {
+  const auto idx = node.value();
+  if (crashed_.at(idx)) return;
+  trace(node, "fault", "crash");
+  crashed_.at(idx) = true;
+  ++incarnation_.at(idx);  // poisons all pending timers
+  Actor* a = actors_.at(idx);
+  if (a != nullptr) a->on_crash();
+}
+
+void World::restart(NodeId node) {
+  const auto idx = node.value();
+  if (!crashed_.at(idx)) return;
+  trace(node, "fault", "restart");
+  crashed_.at(idx) = false;
+  Actor* a = actors_.at(idx);
+  if (a != nullptr) a->on_recover();
+}
+
+}  // namespace dq::sim

@@ -1,0 +1,162 @@
+// World: the container that wires actors, the scheduler, the network, and
+// per-node clocks into one deterministic simulation.
+//
+// Every protocol node and every client is an Actor.  Actors interact with
+// the world only through the narrow API here (send / timers / clocks / rng),
+// which is what makes failure injection and deterministic replay possible.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+#include "sim/time.h"
+
+namespace dq::sim {
+
+class World;
+
+// Base class for every protocol participant.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  // A message addressed to this node arrived (the node is up).
+  virtual void on_message(const Envelope& env) = 0;
+
+  // The node crashed (process death: volatile state should be dropped) or
+  // recovered.  Partition-style unreachability does NOT invoke these; a
+  // partitioned node keeps running its timers.
+  virtual void on_crash() {}
+  virtual void on_recover() {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ protected:
+  [[nodiscard]] World& world() const { return *world_; }
+
+ private:
+  friend class World;
+  World* world_ = nullptr;
+  NodeId id_{};
+};
+
+class World {
+ public:
+  World(Topology topology, std::uint64_t seed);
+
+  // Non-copyable: actors hold back-pointers.
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- setup -------------------------------------------------------------
+  // Register the actor living at `node`.  The world does not own actors
+  // (tests and harnesses typically keep them in vectors of unique_ptr).
+  void attach(NodeId node, Actor& actor);
+
+  // Give `node` a drifting clock (default: perfect clock).
+  void set_clock(NodeId node, DriftClock clock);
+
+  // --- actor-facing API ----------------------------------------------------
+  [[nodiscard]] Time now() const { return sched_.now(); }
+  [[nodiscard]] Time local_now(NodeId node) const {
+    return clock_of(node).local_time(sched_.now());
+  }
+  [[nodiscard]] const DriftClock& clock_of(NodeId node) const {
+    return clocks_.at(node.value());
+  }
+
+  // Send a request message.  Applies reachability, loss, duplication, delay.
+  void send(NodeId src, NodeId dst, RequestId rpc_id, msg::Payload body) {
+    send_tagged(src, dst, rpc_id, std::move(body), /*is_reply=*/false);
+  }
+  // Send a reply to a previously received envelope (echoes its rpc id).
+  void reply(NodeId src, const Envelope& to, msg::Payload body) {
+    send_tagged(src, to.src, to.rpc_id, std::move(body), /*is_reply=*/true);
+  }
+  void send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
+                   msg::Payload body, bool is_reply);
+
+  // Schedule `fn` at `node` after `delay` (on the global clock).  The
+  // callback is dropped if the node crashed in the meantime (its process
+  // restarted); it still fires while the node is merely partitioned.
+  TimerToken set_timer(NodeId node, Duration delay, std::function<void()> fn);
+
+  // Schedule `fn` to fire when `node`'s LOCAL clock reaches `local_when`.
+  TimerToken set_timer_local(NodeId node, Time local_when,
+                             std::function<void()> fn);
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] RequestId fresh_rpc_id() { return RequestId(++next_rpc_id_); }
+
+  // --- tracing ---------------------------------------------------------------
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] bool tracing() const { return tracer_.enabled(); }
+  // Emit a protocol event at `node` (no-op unless tracing is enabled).
+  void trace(NodeId node, std::string category, std::string detail) {
+    tracer_.emit(now(), node, std::move(category), std::move(detail));
+  }
+
+  // --- failure injection ---------------------------------------------------
+  // Unreachability (network failure): node keeps running, no traffic in/out.
+  void set_up(NodeId node, bool up) { faults_.set_up(node, up); }
+  [[nodiscard]] bool is_up(NodeId node) const { return faults_.is_up(node); }
+
+  // Process crash: drops all pending timers at the node and calls
+  // Actor::on_crash; restart() calls Actor::on_recover.
+  void crash(NodeId node);
+  void restart(NodeId node);
+  [[nodiscard]] bool is_crashed(NodeId node) const {
+    return crashed_.at(node.value());
+  }
+
+  [[nodiscard]] FaultPlane& faults() { return faults_; }
+
+  // --- running -------------------------------------------------------------
+  std::size_t run_until(Time deadline) { return sched_.run_until(deadline); }
+  std::size_t run_for(Duration d) { return sched_.run_until(now() + d); }
+  std::size_t run_all() { return sched_.run_all(); }
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] MessageStats& message_stats() { return stats_; }
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
+  // Per-node load: messages this node sent / had delivered to it.  The
+  // grid-quorum experiments use this to show load spreading ("reduce the
+  // overall system load", paper section 6).
+  [[nodiscard]] std::uint64_t sent_by(NodeId n) const {
+    return sent_by_.at(n.value());
+  }
+  [[nodiscard]] std::uint64_t received_by(NodeId n) const {
+    return received_by_.at(n.value());
+  }
+
+ private:
+  void deliver(Envelope env);
+
+  Topology topo_;
+  Rng rng_;
+  Scheduler sched_;
+  Tracer tracer_;
+  FaultPlane faults_;
+  MessageStats stats_;
+  std::vector<Actor*> actors_;
+  std::vector<DriftClock> clocks_;
+  std::vector<bool> crashed_;
+  // Incarnation numbers invalidate pre-crash timers cheaply.
+  std::vector<std::uint64_t> incarnation_;
+  std::uint64_t next_rpc_id_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::uint64_t> sent_by_;
+  std::vector<std::uint64_t> received_by_;
+};
+
+}  // namespace dq::sim

@@ -1,0 +1,88 @@
+// Per-node object storage and the object-to-volume mapping.
+//
+// The store is a simple versioned key-value map: protocols keep their own
+// per-object metadata (callback state, lease state) next to it.  Volumes
+// group objects so that one short volume lease amortizes over many objects
+// (paper section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/version.h"
+
+namespace dq::store {
+
+// Maps every object to its volume.  The default policy hashes the object id
+// across a fixed number of volumes, which is how a deployment would shard a
+// namespace; tests also use single-volume maps.
+class VolumeMap {
+ public:
+  explicit VolumeMap(std::size_t num_volumes = 1)
+      : num_volumes_(num_volumes == 0 ? 1 : num_volumes) {}
+
+  [[nodiscard]] VolumeId volume_of(ObjectId o) const {
+    return VolumeId(static_cast<std::uint32_t>(o.value() % num_volumes_));
+  }
+  [[nodiscard]] std::size_t num_volumes() const { return num_volumes_; }
+
+  [[nodiscard]] std::vector<VolumeId> all_volumes() const {
+    std::vector<VolumeId> v;
+    v.reserve(num_volumes_);
+    for (std::size_t i = 0; i < num_volumes_; ++i) {
+      v.emplace_back(static_cast<std::uint32_t>(i));
+    }
+    return v;
+  }
+
+ private:
+  std::size_t num_volumes_;
+};
+
+// Versioned object store.  apply() keeps the highest-clock value (writes
+// are idempotent and commute under the max-clock rule).
+class ObjectStore {
+ public:
+  // Returns true if the update was newer and was applied.  No real write
+  // carries the zero clock, so "newer than an absent entry" is simply
+  // lc > LogicalClock::zero().
+  bool apply(ObjectId o, const Value& v, LogicalClock lc) {
+    auto [it, inserted] = data_.try_emplace(o);
+    if (!inserted && lc <= it->second.clock) return false;
+    it->second.value = v;
+    it->second.clock = lc;
+    return true;
+  }
+
+  [[nodiscard]] VersionedValue get(ObjectId o) const {
+    auto it = data_.find(o);
+    if (it == data_.end()) return {};
+    return it->second;
+  }
+
+  [[nodiscard]] LogicalClock clock_of(ObjectId o) const {
+    auto it = data_.find(o);
+    return it == data_.end() ? LogicalClock::zero() : it->second.clock;
+  }
+
+  [[nodiscard]] bool contains(ObjectId o) const { return data_.count(o) > 0; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  // Snapshot of all (object, clock) pairs -- used by anti-entropy digests.
+  [[nodiscard]] std::vector<std::pair<ObjectId, LogicalClock>> digest() const {
+    std::vector<std::pair<ObjectId, LogicalClock>> out;
+    out.reserve(data_.size());
+    for (const auto& [o, vv] : data_) out.emplace_back(o, vv.clock);
+    return out;
+  }
+
+  void clear() { data_.clear(); }
+
+ private:
+  std::unordered_map<ObjectId, VersionedValue> data_;
+};
+
+}  // namespace dq::store

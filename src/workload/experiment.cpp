@@ -1,0 +1,386 @@
+#include "workload/experiment.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.h"
+#include "protocols/dq_adapter.h"
+#include "quorum/quorum.h"
+
+namespace dq::workload {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kDqvl: return "DQVL";
+    case Protocol::kDqvlAtomic: return "DQVL-atomic";
+    case Protocol::kDqBasic: return "DQ-basic";
+    case Protocol::kMajority: return "majority";
+    case Protocol::kPrimaryBackup: return "primary/backup";
+    case Protocol::kPrimaryBackupSync: return "primary/backup-sync";
+    case Protocol::kRowa: return "ROWA";
+    case Protocol::kRowaAsync: return "ROWA-Async";
+  }
+  return "?";
+}
+
+std::vector<Protocol> paper_protocols() {
+  return {Protocol::kDqvl, Protocol::kPrimaryBackup, Protocol::kMajority,
+          Protocol::kRowa, Protocol::kRowaAsync};
+}
+
+Deployment::Deployment(const ExperimentParams& params) : params_(params) {
+  world_ = std::make_unique<sim::World>(sim::Topology(params_.topo),
+                                        params_.seed);
+  const auto& topo = world_->topology();
+
+  // Drifting clocks (servers and clients alike).
+  if (params_.max_drift > 0.0) {
+    Rng clock_rng(params_.seed ^ 0xC10CC10CULL);
+    for (std::size_t i = 0; i < topo.num_nodes(); ++i) {
+      world_->set_clock(NodeId(static_cast<std::uint32_t>(i)),
+                        sim::DriftClock::random(clock_rng, params_.max_drift,
+                                                sim::seconds(1)));
+    }
+  }
+
+  world_->faults().set_loss_probability(params_.loss);
+
+  // One composite actor per server.
+  servers_.reserve(topo.num_servers());
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    auto node = std::make_unique<EdgeNode>();
+    world_->attach(topo.server(i), *node);
+    servers_.push_back(std::move(node));
+  }
+
+  switch (params_.protocol) {
+    case Protocol::kDqvl:
+    case Protocol::kDqvlAtomic:
+    case Protocol::kDqBasic:
+      build_dqvl();
+      break;
+    case Protocol::kMajority:
+      build_majority();
+      break;
+    case Protocol::kPrimaryBackup:
+      build_primary_backup(protocols::PbMode::kAsyncPropagation);
+      break;
+    case Protocol::kPrimaryBackupSync:
+      build_primary_backup(protocols::PbMode::kSyncPropagation);
+      break;
+    case Protocol::kRowa:
+      build_rowa();
+      break;
+    case Protocol::kRowaAsync:
+      build_rowa_async();
+      break;
+  }
+
+  if (params_.failures) {
+    injector_ = std::make_unique<sim::FailureInjector>(*world_,
+                                                       *params_.failures);
+    injector_->start(topo.servers());
+  }
+}
+
+Deployment::~Deployment() = default;
+
+rpc::QrpcOptions Deployment::rpc_options() const {
+  rpc::QrpcOptions o;
+  if (params_.op_deadline < sim::kTimeInfinity) {
+    o.deadline = params_.op_deadline;
+  }
+  return o;
+}
+
+AppClient::Params Deployment::client_params() const {
+  AppClient::Params p;
+  p.write_ratio = params_.write_ratio;
+  p.burstiness = params_.burstiness;
+  p.locality = params_.locality;
+  p.total_requests = params_.requests_per_client;
+  p.think_time = params_.think_time;
+  p.op_deadline = params_.op_deadline;
+  p.choose_object = params_.choose_object;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol wiring
+// ---------------------------------------------------------------------------
+
+void Deployment::build_dqvl() {
+  const auto& topo = world_->topology();
+  DQ_INVARIANT(params_.iqs_size >= 1 &&
+                   params_.iqs_size <= topo.num_servers(),
+               "iqs_size out of range");
+
+  std::vector<NodeId> all = topo.servers();
+  std::vector<NodeId> iqs_members(all.begin(),
+                                  all.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          params_.iqs_size));
+  auto cfg = std::make_shared<core::DqConfig>(core::DqConfig::headline(
+      all, iqs_members,
+      params_.protocol == Protocol::kDqBasic ? sim::kTimeInfinity
+                                             : params_.lease_length));
+  if (params_.oqs_read_quorum > 1) {
+    // |orq| = r implies |owq| = n - r + 1 for intersection.
+    const std::size_t n = all.size();
+    DQ_INVARIANT(params_.oqs_read_quorum <= n, "oqs_read_quorum too large");
+    cfg->oqs = std::make_shared<quorum::ThresholdQuorum>(
+        all, params_.oqs_read_quorum, n - params_.oqs_read_quorum + 1);
+  }
+  cfg->object_lease_length = params_.object_lease_length;
+  if (params_.iqs_grid_rows > 0) {
+    DQ_INVARIANT(params_.iqs_grid_rows * params_.iqs_grid_cols ==
+                     params_.iqs_size,
+                 "iqs_grid dimensions must cover iqs_size");
+    cfg->iqs = std::make_shared<quorum::GridQuorum>(
+        iqs_members, params_.iqs_grid_rows, params_.iqs_grid_cols);
+  }
+  cfg->volumes = store::VolumeMap(params_.num_volumes);
+  cfg->max_delayed_per_volume = params_.max_delayed_per_volume;
+  cfg->max_drift = params_.max_drift;
+  cfg->suppression_enabled = params_.suppression;
+  cfg->proactive_volume_renewal = params_.proactive_renewal;
+  cfg->batch_volume_renewals = params_.batch_renewals;
+  cfg->rpc = rpc_options();
+  dq_cfg_ = cfg;
+
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    const NodeId n = topo.server(i);
+    EdgeNode& node = *servers_[i];
+
+    // Front end (service client) -- must see replies first.
+    std::shared_ptr<protocols::ServiceClient> sc;
+    if (params_.protocol == Protocol::kDqvlAtomic) {
+      sc = std::make_shared<protocols::DqAtomicServiceClient>(*world_, n,
+                                                              dq_cfg_);
+    } else {
+      sc = std::make_shared<protocols::DqServiceClient>(*world_, n, dq_cfg_);
+    }
+    auto fe = std::make_unique<FrontEnd>(*world_, n, sc);
+    FrontEnd* fe_raw = fe.get();
+    node.add_handler([fe_raw](const sim::Envelope& e) {
+      return fe_raw->on_message(e);
+    });
+    node.add_crash_hook([fe_raw] { fe_raw->on_crash(); });
+    front_ends_.push_back(std::move(fe));
+
+    // OQS member (every server).
+    auto oqs = std::make_unique<core::OqsServer>(*world_, n, dq_cfg_);
+    core::OqsServer* oqs_raw = oqs.get();
+    node.add_handler([oqs_raw](const sim::Envelope& e) {
+      return oqs_raw->on_message(e);
+    });
+    node.add_crash_hook([oqs_raw] { oqs_raw->on_crash(); });
+    oqs_.emplace(n.value(), std::move(oqs));
+
+    // IQS member (first iqs_size servers).
+    if (dq_cfg_->iqs->is_member(n)) {
+      auto iqs = std::make_unique<core::IqsServer>(*world_, n, dq_cfg_);
+      core::IqsServer* iqs_raw = iqs.get();
+      node.add_handler([iqs_raw](const sim::Envelope& e) {
+        return iqs_raw->on_message(e);
+      });
+      node.add_crash_hook([iqs_raw] { iqs_raw->on_crash(); });
+      iqs_.emplace(n.value(), std::move(iqs));
+    }
+  }
+  build_clients_via_front_end();
+}
+
+void Deployment::build_majority() {
+  const auto& topo = world_->topology();
+  auto system = std::shared_ptr<const quorum::QuorumSystem>(
+      quorum::ThresholdQuorum::majority(topo.servers()));
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    auto srv = std::make_unique<protocols::MajorityServer>(*world_,
+                                                           topo.server(i));
+    protocols::MajorityServer* raw = srv.get();
+    servers_[i]->add_handler([raw](const sim::Envelope& e) {
+      return raw->on_message(e);
+    });
+    maj_servers_.push_back(std::move(srv));
+  }
+  // Direct-access clients (the paper's majority latency is insensitive to
+  // edge locality).
+  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
+    const NodeId cn = topo.client(c);
+    auto sc = std::make_shared<protocols::MajorityClient>(*world_, cn, system,
+                                                          rpc_options());
+    auto client = std::make_unique<AppClient>(client_params(), sc);
+    world_->attach(cn, *client);
+    clients_.push_back(std::move(client));
+  }
+}
+
+void Deployment::build_primary_backup(protocols::PbMode mode) {
+  const auto& topo = world_->topology();
+  auto cfg = std::make_shared<protocols::PbConfig>();
+  // Primary on the last server: with the default client homes (0, 1, 2, ...)
+  // no client is colocated with the primary, matching the paper's setting
+  // where the primary is a WAN hop away.
+  cfg->primary = topo.server(topo.num_servers() - 1);
+  cfg->replicas = topo.servers();
+  cfg->mode = mode;
+  cfg->rpc = rpc_options();
+  pb_cfg_ = cfg;
+
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    auto srv = std::make_unique<protocols::PbServer>(*world_, topo.server(i),
+                                                     pb_cfg_);
+    protocols::PbServer* raw = srv.get();
+    servers_[i]->add_handler([raw](const sim::Envelope& e) {
+      return raw->on_message(e);
+    });
+    pb_servers_.push_back(std::move(srv));
+  }
+  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
+    const NodeId cn = topo.client(c);
+    auto sc = std::make_shared<protocols::PbClient>(*world_, cn, pb_cfg_);
+    auto client = std::make_unique<AppClient>(client_params(), sc);
+    world_->attach(cn, *client);
+    clients_.push_back(std::move(client));
+  }
+}
+
+void Deployment::build_rowa() {
+  const auto& topo = world_->topology();
+  auto system = std::shared_ptr<const quorum::QuorumSystem>(
+      quorum::ThresholdQuorum::rowa(topo.servers()));
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    auto srv = std::make_unique<protocols::RowaServer>(*world_,
+                                                       topo.server(i));
+    rowa_servers_.push_back(std::move(srv));
+  }
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    const NodeId n = topo.server(i);
+    auto sc = std::make_shared<protocols::RowaClient>(
+        *world_, n, system, rowa_servers_[i].get(), rpc_options());
+    auto fe = std::make_unique<FrontEnd>(*world_, n, sc);
+    FrontEnd* fe_raw = fe.get();
+    protocols::RowaServer* srv_raw = rowa_servers_[i].get();
+    servers_[i]->add_handler([fe_raw](const sim::Envelope& e) {
+      return fe_raw->on_message(e);
+    });
+    servers_[i]->add_handler([srv_raw](const sim::Envelope& e) {
+      return srv_raw->on_message(e);
+    });
+    front_ends_.push_back(std::move(fe));
+  }
+  build_clients_via_front_end();
+}
+
+void Deployment::build_rowa_async() {
+  const auto& topo = world_->topology();
+  auto cfg = std::make_shared<protocols::RowaAsyncConfig>();
+  cfg->replicas = topo.servers();
+  cfg->rpc = rpc_options();
+  async_cfg_ = cfg;
+  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
+    const NodeId n = topo.server(i);
+    auto srv = std::make_unique<protocols::RowaAsyncServer>(*world_, n,
+                                                            async_cfg_);
+    auto sc = std::make_shared<protocols::RowaAsyncClient>(*world_, n, n,
+                                                           rpc_options());
+    auto fe = std::make_unique<FrontEnd>(*world_, n, sc);
+    FrontEnd* fe_raw = fe.get();
+    protocols::RowaAsyncServer* srv_raw = srv.get();
+    servers_[i]->add_handler([fe_raw](const sim::Envelope& e) {
+      return fe_raw->on_message(e);
+    });
+    servers_[i]->add_handler([srv_raw](const sim::Envelope& e) {
+      return srv_raw->on_message(e);
+    });
+    srv->start_anti_entropy();
+    async_servers_.push_back(std::move(srv));
+    front_ends_.push_back(std::move(fe));
+  }
+  build_clients_via_front_end();
+}
+
+void Deployment::build_clients_via_front_end() {
+  const auto& topo = world_->topology();
+  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
+    const NodeId cn = topo.client(c);
+    auto client = std::make_unique<AppClient>(client_params());
+    world_->attach(cn, *client);
+    clients_.push_back(std::move(client));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Running and collecting
+// ---------------------------------------------------------------------------
+
+void Deployment::start_clients() {
+  for (auto& c : clients_) c->start();
+}
+
+bool Deployment::clients_done() const {
+  for (const auto& c : clients_) {
+    if (!c->done()) return false;
+  }
+  return true;
+}
+
+ExperimentResult Deployment::run() {
+  start_clients();
+  while (!clients_done() && world_->now() < params_.max_sim_time) {
+    world_->run_for(sim::seconds(1));
+  }
+  return collect();
+}
+
+ExperimentResult Deployment::collect() {
+  ExperimentResult r;
+  for (const auto& c : clients_) {
+    r.history.append(c->history());
+    r.rejected_reads += c->rejected_reads();
+    r.rejected_writes += c->rejected_writes();
+  }
+  for (const OpRecord& op : r.history.ops()) {
+    if (!op.ok) continue;
+    const double ms = sim::to_ms(op.completed - op.invoked);
+    r.all_ms.add(ms);
+    if (op.kind == msg::OpKind::kRead) {
+      r.read_ms.add(ms);
+      ++r.completed_reads;
+    } else {
+      r.write_ms.add(ms);
+      ++r.completed_writes;
+    }
+  }
+  r.total_messages = world_->message_stats().total();
+  r.total_bytes = world_->message_stats().total_bytes();
+  r.message_table = world_->message_stats().table();
+  const auto total = r.total_requests();
+  if (total != 0) {
+    r.messages_per_request = static_cast<double>(r.total_messages) /
+                             static_cast<double>(total);
+    r.bytes_per_request = static_cast<double>(r.total_bytes) /
+                          static_cast<double>(total);
+  }
+  r.violations = r.history.check_regular();
+  r.sim_duration = world_->now();
+  return r;
+}
+
+core::IqsServer* Deployment::iqs_server(NodeId n) {
+  auto it = iqs_.find(n.value());
+  return it == iqs_.end() ? nullptr : it->second.get();
+}
+
+core::OqsServer* Deployment::oqs_server(NodeId n) {
+  auto it = oqs_.find(n.value());
+  return it == oqs_.end() ? nullptr : it->second.get();
+}
+
+ExperimentResult run_experiment(const ExperimentParams& params) {
+  Deployment d(params);
+  return d.run();
+}
+
+}  // namespace dq::workload

@@ -1,0 +1,184 @@
+// Experiment harness: builds a complete deployment of any protocol over the
+// simulated edge topology, drives the closed-loop workload, and collects
+// response-time / availability / message-count results.
+//
+// This is the code path behind every response-time and overhead figure
+// (DESIGN.md section 4), the integration tests, and the examples.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/config.h"
+#include "core/iqs_server.h"
+#include "core/oqs_server.h"
+#include "protocols/majority.h"
+#include "protocols/primary_backup.h"
+#include "protocols/rowa.h"
+#include "protocols/rowa_async.h"
+#include "sim/failure.h"
+#include "sim/world.h"
+#include "workload/app_client.h"
+#include "workload/frontend.h"
+#include "workload/history.h"
+#include "workload/node.h"
+
+namespace dq::workload {
+
+enum class Protocol : std::uint8_t {
+  kDqvl,            // dual quorum with volume leases (the contribution)
+  kDqvlAtomic,      // DQVL + read write-back = atomic semantics (section 6)
+  kDqBasic,         // basic dual quorum (section 3.1; infinite lease)
+  kMajority,
+  kPrimaryBackup,   // asynchronous backup propagation (paper default)
+  kPrimaryBackupSync,
+  kRowa,
+  kRowaAsync,
+};
+
+[[nodiscard]] const char* protocol_name(Protocol p);
+[[nodiscard]] std::vector<Protocol> paper_protocols();  // the five in Fig 6-9
+
+struct ExperimentParams {
+  Protocol protocol = Protocol::kDqvl;
+  sim::Topology::Params topo{};  // default: 9 servers, 3 clients, paper delays
+
+  // Dual-quorum knobs.
+  std::size_t iqs_size = 5;  // first iqs_size servers form the IQS
+  // |orq|: 1 is the paper's headline (local reads); larger read quorums
+  // shrink the OQS write quorum (paper section 6 "future work" ablation).
+  std::size_t oqs_read_quorum = 1;
+  sim::Duration lease_length = sim::seconds(10);
+  // Object leases (paper footnote 4): kTimeInfinity = callbacks (default).
+  sim::Duration object_lease_length = sim::kTimeInfinity;
+  // Use a grid quorum system for the IQS (paper section 6 future work:
+  // "configure IQS as a grid quorum system to reduce the overall system
+  // load").  When set, iqs_size must equal rows*cols and both > 0.
+  std::size_t iqs_grid_rows = 0;
+  std::size_t iqs_grid_cols = 0;
+  std::size_t num_volumes = 1;
+  std::size_t max_delayed_per_volume = 64;  // epoch-GC bound
+  double max_drift = 0.0;
+  bool proactive_renewal = false;
+  bool batch_renewals = false;  // with proactive_renewal: one batch per IQS member
+  bool suppression = true;
+
+  // Workload.
+  double write_ratio = 0.05;
+  double burstiness = 0.0;  // see AppClient::Params::burstiness
+  double locality = 1.0;
+  std::size_t requests_per_client = 300;
+  sim::Duration think_time = 0;
+  sim::Duration op_deadline = sim::kTimeInfinity;
+  std::function<ObjectId(Rng&)> choose_object;  // default: own profile
+
+  // Fault model.
+  double loss = 0.0;
+  std::optional<sim::FailureInjector::Params> failures;
+
+  std::uint64_t seed = 42;
+  sim::Duration max_sim_time = sim::seconds(3600 * 10);
+};
+
+struct ExperimentResult {
+  Summary read_ms, write_ms, all_ms;
+  std::uint64_t completed_reads = 0, completed_writes = 0;
+  std::uint64_t rejected_reads = 0, rejected_writes = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  double messages_per_request = 0.0;
+  double bytes_per_request = 0.0;
+  std::map<std::string, std::uint64_t> message_table;
+  History history;
+  std::vector<Violation> violations;
+  sim::Time sim_duration = 0;
+
+  [[nodiscard]] std::uint64_t total_requests() const {
+    return completed_reads + completed_writes + rejected_reads +
+           rejected_writes;
+  }
+  [[nodiscard]] double availability() const {
+    const auto total = total_requests();
+    if (total == 0) return 1.0;
+    return static_cast<double>(completed_reads + completed_writes) /
+           static_cast<double>(total);
+  }
+};
+
+// A fully wired deployment.  run_experiment() is the one-shot convenience;
+// tests and examples use Deployment directly to inject failures mid-run or
+// to drive bespoke scenarios.
+class Deployment {
+ public:
+  explicit Deployment(const ExperimentParams& params);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  [[nodiscard]] sim::World& world() { return *world_; }
+  [[nodiscard]] const ExperimentParams& params() const { return params_; }
+
+  void start_clients();
+  [[nodiscard]] bool clients_done() const;
+  // Run until all clients finish (or max_sim_time), then collect results.
+  ExperimentResult run();
+
+  [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
+  [[nodiscard]] AppClient& client(std::size_t i) { return *clients_.at(i); }
+
+  // The composite actor hosted on server i.  Examples and tests append
+  // their own handlers here (e.g. to embed a standalone service client on
+  // an edge server).
+  [[nodiscard]] EdgeNode& server_node(std::size_t i) {
+    return *servers_.at(i);
+  }
+
+  // Protocol internals (null when the deployment runs another protocol).
+  [[nodiscard]] core::IqsServer* iqs_server(NodeId n);
+  [[nodiscard]] core::OqsServer* oqs_server(NodeId n);
+  [[nodiscard]] const std::shared_ptr<const core::DqConfig>& dq_config()
+      const {
+    return dq_cfg_;
+  }
+
+  ExperimentResult collect();
+
+ private:
+  void build_dqvl();
+  void build_majority();
+  void build_primary_backup(protocols::PbMode mode);
+  void build_rowa();
+  void build_rowa_async();
+  void build_clients_via_front_end();
+  AppClient::Params client_params() const;
+  [[nodiscard]] rpc::QrpcOptions rpc_options() const;
+
+  ExperimentParams params_;
+  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<sim::FailureInjector> injector_;
+
+  std::vector<std::unique_ptr<EdgeNode>> servers_;
+  std::vector<std::unique_ptr<AppClient>> clients_;
+
+  // Protocol components (only the relevant vectors are populated).
+  std::shared_ptr<const core::DqConfig> dq_cfg_;
+  std::map<std::uint32_t, std::unique_ptr<core::IqsServer>> iqs_;
+  std::map<std::uint32_t, std::unique_ptr<core::OqsServer>> oqs_;
+  std::vector<std::unique_ptr<protocols::MajorityServer>> maj_servers_;
+  std::shared_ptr<const protocols::PbConfig> pb_cfg_;
+  std::vector<std::unique_ptr<protocols::PbServer>> pb_servers_;
+  std::vector<std::unique_ptr<protocols::RowaServer>> rowa_servers_;
+  std::shared_ptr<const protocols::RowaAsyncConfig> async_cfg_;
+  std::vector<std::unique_ptr<protocols::RowaAsyncServer>> async_servers_;
+  std::vector<std::unique_ptr<FrontEnd>> front_ends_;
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentParams& params);
+
+}  // namespace dq::workload

@@ -1,0 +1,84 @@
+// Front end: the service-client role of an edge server.
+//
+// Receives AppRequest from application clients, executes the operation
+// through the protocol's ServiceClient, and returns an AppReply.  The paper
+// calls this the "front end node ... acting as a service client to the
+// dual-quorum storage system" (section 2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "msg/wire.h"
+#include "protocols/service_client.h"
+#include "sim/world.h"
+
+namespace dq::workload {
+
+class FrontEnd {
+ public:
+  FrontEnd(sim::World& world, NodeId self,
+           std::shared_ptr<protocols::ServiceClient> client)
+      : world_(world), self_(self), client_(std::move(client)) {}
+
+  bool on_message(const sim::Envelope& env) {
+    // Give the embedded service client first claim on replies addressed to
+    // this node.
+    if (client_->on_message(env)) return true;
+    const auto* req = std::get_if<msg::AppRequest>(&env.body);
+    if (req == nullptr) return false;
+
+    // At-most-once execution: application clients retransmit a lost request
+    // under the same rpc id; re-executing a write would mint a second
+    // logical clock for it.  In-flight duplicates are dropped (the eventual
+    // reply answers both); completed ones get the cached reply resent.
+    const auto key = std::make_pair(env.src, env.rpc_id);
+    if (auto it = done_.find(key); it != done_.end()) {
+      world_.send_tagged(self_, env.src, env.rpc_id, it->second,
+                         /*is_reply=*/true);
+      return true;
+    }
+    if (!inflight_.insert(key).second) return true;
+
+    const NodeId src = env.src;
+    const RequestId rpc = env.rpc_id;
+    if (req->op == msg::OpKind::kRead) {
+      client_->read(req->object, [this, src, rpc, o = req->object](
+                                     bool ok, VersionedValue vv) {
+        finish(src, rpc,
+               msg::AppReply{ok, o, std::move(vv.value), vv.clock});
+      });
+    } else {
+      client_->write(req->object, req->value,
+                     [this, src, rpc, o = req->object](bool ok,
+                                                       LogicalClock lc) {
+                       finish(src, rpc, msg::AppReply{ok, o, Value{}, lc});
+                     });
+    }
+    return true;
+  }
+
+  void on_crash() {
+    client_->cancel_all();
+    inflight_.clear();  // volatile; retransmissions re-execute after restart
+    done_.clear();
+  }
+
+ private:
+  void finish(NodeId src, RequestId rpc, msg::AppReply reply) {
+    const auto key = std::make_pair(src, rpc);
+    inflight_.erase(key);
+    done_.emplace(key, reply);
+    world_.send_tagged(self_, src, rpc, std::move(reply), /*is_reply=*/true);
+  }
+
+  sim::World& world_;
+  NodeId self_;
+  std::shared_ptr<protocols::ServiceClient> client_;
+  std::set<std::pair<NodeId, RequestId>> inflight_;
+  std::map<std::pair<NodeId, RequestId>, msg::AppReply> done_;
+};
+
+}  // namespace dq::workload

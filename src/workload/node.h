@@ -1,0 +1,49 @@
+// EdgeNode: a composite actor hosting protocol components.
+//
+// A single edge server typically plays several roles at once (the paper
+// notes "an IQS server could physically be on the same node as an OQS
+// server"): IQS member, OQS member, and front end.  Each role is a component
+// registered here; incoming envelopes are offered to components in
+// registration order until one consumes them.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/world.h"
+
+namespace dq::workload {
+
+class EdgeNode final : public sim::Actor {
+ public:
+  using Handler = std::function<bool(const sim::Envelope&)>;
+  using Hook = std::function<void()>;
+
+  void add_handler(Handler h) { handlers_.push_back(std::move(h)); }
+  void add_crash_hook(Hook on_crash, Hook on_recover = {}) {
+    crash_hooks_.push_back(std::move(on_crash));
+    if (on_recover) recover_hooks_.push_back(std::move(on_recover));
+  }
+
+  void on_message(const sim::Envelope& env) override {
+    for (auto& h : handlers_) {
+      if (h(env)) return;
+    }
+    // Unconsumed envelopes are late replies to finished QRPC calls or
+    // traffic for a role this node does not play; both are benign.
+  }
+
+  void on_crash() override {
+    for (auto& h : crash_hooks_) h();
+  }
+  void on_recover() override {
+    for (auto& h : recover_hooks_) h();
+  }
+
+ private:
+  std::vector<Handler> handlers_;
+  std::vector<Hook> crash_hooks_;
+  std::vector<Hook> recover_hooks_;
+};
+
+}  // namespace dq::workload

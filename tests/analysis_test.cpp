@@ -1,0 +1,218 @@
+// Analytical model tests: the closed forms behind Figures 8 and 9, cross-
+// checked against exhaustive quorum enumeration and against each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/availability.h"
+#include "analysis/overhead.h"
+#include "quorum/quorum.h"
+
+namespace dq::analysis {
+namespace {
+
+std::vector<NodeId> nodes(std::size_t n) {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binomial tail
+// ---------------------------------------------------------------------------
+
+TEST(BinomialTail, Extremes) {
+  EXPECT_DOUBLE_EQ(binomial_tail_at_least(5, 0, 0.3), 1.0);
+  EXPECT_NEAR(binomial_tail_at_least(5, 5, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(binomial_tail_at_least(5, 1, 1.0), 0.0, 1e-12);
+}
+
+TEST(BinomialTail, MatchesQuorumEnumeration) {
+  for (std::size_t n : {3u, 5u, 9u, 15u}) {
+    auto q = quorum::ThresholdQuorum::majority(nodes(n));
+    for (double p : {0.01, 0.1, 0.3}) {
+      EXPECT_NEAR(binomial_tail_at_least(n, n / 2 + 1, p),
+                  quorum::exact_availability(*q, quorum::Kind::kRead, p),
+                  1e-10)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Availability model (Figure 8 shapes)
+// ---------------------------------------------------------------------------
+
+TEST(AvailabilityModel, DqvlTracksMajorityInHeadlineConfig) {
+  // Paper: "DQVL's availability tracks that of the majority quorum."
+  AvailabilityModel m;  // n = iqs = 15, p = 0.01
+  for (double w : {0.0, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(m.dqvl(w), m.majority(w), 1e-9) << "w=" << w;
+  }
+}
+
+TEST(AvailabilityModel, PrimaryBackupIsFlatAtNodeAvailability) {
+  AvailabilityModel m;
+  EXPECT_DOUBLE_EQ(m.primary_backup(0.0), 0.99);
+  EXPECT_DOUBLE_EQ(m.primary_backup(1.0), 0.99);
+}
+
+TEST(AvailabilityModel, RowaWriteAvailabilityCollapsesWithWrites) {
+  AvailabilityModel m;
+  // Read-only ROWA is nearly perfect; write-only is poor (needs all 15 up).
+  EXPECT_GE(m.rowa(0.0), 1.0 - 1e-12);
+  EXPECT_NEAR(1.0 - m.rowa(1.0), 1.0 - std::pow(0.99, 15), 1e-12);
+  EXPECT_GT(1.0 - m.rowa(1.0), 0.13);
+}
+
+TEST(AvailabilityModel, RowaAsyncNoStaleIsOrdersWorseThanQuorums) {
+  // Paper: rejecting stale reads makes ROWA-Async "several orders of
+  // magnitude worse than other quorum based protocols".
+  AvailabilityModel m;
+  const double w = 0.25;
+  const double unavail_async = 1.0 - m.rowa_async_no_stale(w);
+  const double unavail_maj = 1.0 - m.majority(w);
+  EXPECT_GT(unavail_async / unavail_maj, 1e3);
+}
+
+TEST(AvailabilityModel, RowaAsyncStaleOkIsBest) {
+  AvailabilityModel m;
+  for (double w : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_GE(m.rowa_async_stale_ok(w) + 1e-15, m.majority(w));
+    EXPECT_GE(m.rowa_async_stale_ok(w) + 1e-15, m.rowa(w));
+  }
+}
+
+TEST(AvailabilityModel, AvailabilityImprovesWithReplicaCount) {
+  // Figure 8(b): quorum-based availability improves with n; p/b does not.
+  const double w = 0.25;
+  double prev_maj = 0.0;
+  for (std::size_t n : {3u, 5u, 7u, 9u, 11u, 13u, 15u}) {
+    AvailabilityModel m;
+    m.n = n;
+    m.iqs = n;
+    EXPECT_GE(m.majority(w), prev_maj);
+    prev_maj = m.majority(w);
+    EXPECT_DOUBLE_EQ(m.primary_backup(w), 0.99);
+  }
+  EXPECT_GT(prev_maj, 0.9999999);
+}
+
+TEST(AvailabilityModel, DqvlGeneralTakesMinima) {
+  EXPECT_DOUBLE_EQ(AvailabilityModel::dqvl_general(0.0, 0.5, 0.9, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(AvailabilityModel::dqvl_general(1.0, 0.5, 0.9, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(AvailabilityModel::dqvl_general(0.5, 1.0, 0.8, 1.0), 0.8);
+}
+
+TEST(AvailabilityModel, DqvlWithSmallIqsIsLimitedByIqs) {
+  AvailabilityModel m;
+  m.n = 15;
+  m.iqs = 5;
+  AvailabilityModel big;  // iqs = 15
+  // A 5-node IQS has lower availability than a 15-node one at p = 0.01.
+  EXPECT_LT(m.dqvl(0.5), big.dqvl(0.5));
+}
+
+// ---------------------------------------------------------------------------
+// Overhead model (Figure 9 shapes)
+// ---------------------------------------------------------------------------
+
+TEST(OverheadModel, ReadOnlyCosts) {
+  OverheadModel m;  // n = iqs = 15
+  EXPECT_DOUBLE_EQ(m.majority_read(), 16.0);  // 2 * 8
+  EXPECT_DOUBLE_EQ(m.pb_read(), 2.0);
+  EXPECT_DOUBLE_EQ(m.rowa_read(), 2.0);
+  EXPECT_DOUBLE_EQ(m.dqvl_read(0.0), 2.0);  // read hit
+}
+
+TEST(OverheadModel, DqvlReadHitBeatsEveryQuorumProtocol) {
+  OverheadModel m;
+  EXPECT_LT(m.dqvl_avg(0.0), m.majority_avg(0.0));
+}
+
+TEST(OverheadModel, DqvlExcessOverMajorityPeaksMidway) {
+  // Figure 9(a): interleaved reads and writes are DQVL's worst case -- its
+  // overhead relative to the majority protocol peaks around w = 0.5 (at the
+  // extremes DQVL matches or beats majority: all read hits at w = 0, all
+  // write suppresses at w = 1).
+  OverheadModel m;
+  auto excess = [&](double w) { return m.dqvl_avg(w) - m.majority_avg(w); };
+  EXPECT_LT(excess(0.0), 0.0);
+  EXPECT_GT(excess(0.5), excess(0.0));
+  EXPECT_GT(excess(0.5), excess(1.0));
+  EXPECT_GT(excess(0.5), 0.0);
+}
+
+TEST(OverheadModel, DqvlWorstCaseExceedsMajority) {
+  // Paper: "the dual-quorum protocol requires significantly more message
+  // exchanges than traditional quorum protocols" in the worst case.
+  OverheadModel m;
+  EXPECT_GT(m.dqvl_avg(0.5), m.majority_avg(0.5));
+}
+
+TEST(OverheadModel, FixedIqsMakesDqvlComparableToMajorityAtScale) {
+  // Figure 9(b): fix IQS at 5 and grow the OQS; majority grows with n while
+  // DQVL's write-side renewal cost stays bounded by the IQS.
+  for (std::size_t n : {15u, 25u, 45u}) {
+    OverheadModel dqvl{n, /*iqs=*/5};
+    OverheadModel maj{n, n};
+    const double w = 0.05;  // the target read-dominated workload
+    EXPECT_LT(dqvl.dqvl_avg(w), maj.majority_avg(w)) << "n=" << n;
+  }
+}
+
+TEST(OverheadModel, WriteSuppressIsCheaperThanWriteThrough) {
+  OverheadModel m;
+  EXPECT_LT(m.dqvl_write(0.0), m.dqvl_write(1.0));
+  // Suppressed write == two IQS majority rounds: 2*8 + 2*8 messages.
+  EXPECT_DOUBLE_EQ(m.dqvl_write(0.0), 32.0);
+}
+
+TEST(DqvlAvailability, GenericCompositionMatchesHeadlineFormula) {
+  // 15-node OQS with |orq| = 1 and a 15-node majority IQS must reproduce
+  // the closed-form headline model exactly.
+  std::vector<NodeId> members = nodes(15);
+  auto oqs = quorum::ThresholdQuorum::read_one(members);
+  auto iqs = quorum::ThresholdQuorum::majority(members);
+  AvailabilityModel m;  // n = iqs = 15, p = 0.01
+  for (double w : {0.0, 0.25, 0.8}) {
+    EXPECT_NEAR(dqvl_availability(w, *oqs, *iqs, 0.01), m.dqvl(w), 1e-9)
+        << "w = " << w;
+  }
+}
+
+TEST(DqvlAvailability, GridIqsIsSlightlyLessAvailableThanMajority) {
+  std::vector<NodeId> members = nodes(9);
+  auto oqs = quorum::ThresholdQuorum::read_one(members);
+  auto maj = quorum::ThresholdQuorum::majority(members);
+  quorum::GridQuorum grid(members, 3, 3);
+  const double w = 0.25;
+  const double av_maj = dqvl_availability(w, *oqs, *maj, 0.01);
+  const double av_grid = dqvl_availability(w, *oqs, grid, 0.01);
+  EXPECT_LT(av_grid, av_maj);
+  // ... but still at least four nines at p = 0.01.
+  EXPECT_GT(av_grid, 0.9999);
+}
+
+TEST(DqvlAvailability, WideOqsReadQuorumHurtsReadsHelpsNothing) {
+  // |orq| = 3 over 9: reads need 3 live OQS nodes instead of 1; the write
+  // side is unchanged (IQS-bound).  Availability can only go down.
+  std::vector<NodeId> members = nodes(9);
+  auto narrow = quorum::ThresholdQuorum::read_one(members);
+  quorum::ThresholdQuorum wide(members, 3, 7);
+  auto iqs = quorum::ThresholdQuorum::majority(members);
+  for (double w : {0.0, 0.5}) {
+    EXPECT_LE(dqvl_availability(w, wide, *iqs, 0.05),
+              dqvl_availability(w, *narrow, *iqs, 0.05) + 1e-12);
+  }
+}
+
+TEST(OverheadModel, RowaWriteScalesLinearly) {
+  OverheadModel a{10, 10}, b{20, 20};
+  EXPECT_DOUBLE_EQ(b.rowa_write(), 2.0 * a.rowa_write());
+}
+
+}  // namespace
+}  // namespace dq::analysis

@@ -1,0 +1,89 @@
+// Tests for the burst workload model and the paper's burst-related claims.
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace dq::workload {
+namespace {
+
+TEST(Burstiness, StationaryWriteFractionIsPreserved) {
+  for (double b : {0.0, 0.5, 0.9}) {
+    ExperimentParams p;
+    p.protocol = Protocol::kRowaAsync;
+    p.write_ratio = 0.3;
+    p.burstiness = b;
+    p.requests_per_client = 2000;
+    p.seed = 3;
+    const auto r = run_experiment(p);
+    const double measured =
+        static_cast<double>(r.completed_writes) /
+        static_cast<double>(r.completed_reads + r.completed_writes);
+    EXPECT_NEAR(measured, 0.3, 0.05) << "burstiness " << b;
+  }
+}
+
+TEST(Burstiness, BurstsMakeRunsLonger) {
+  // Count kind-runs in the recorded history: with burstiness the expected
+  // run length grows by ~1/(1-b).
+  auto mean_run_length = [](double b) {
+    ExperimentParams p;
+    p.protocol = Protocol::kRowaAsync;
+    p.write_ratio = 0.5;
+    p.burstiness = b;
+    p.topo.num_clients = 1;
+    p.requests_per_client = 3000;
+    p.seed = 5;
+    const auto r = run_experiment(p);
+    std::size_t runs = 0;
+    msg::OpKind prev{};
+    bool first = true;
+    for (const auto& op : r.history.ops()) {
+      if (first || op.kind != prev) ++runs;
+      prev = op.kind;
+      first = false;
+    }
+    return static_cast<double>(r.history.size()) /
+           static_cast<double>(runs);
+  };
+  const double iid = mean_run_length(0.0);
+  const double bursty = mean_run_length(0.9);
+  EXPECT_NEAR(iid, 2.0, 0.3);     // w = 0.5 iid: mean run ~2
+  EXPECT_GT(bursty, 3.0 * iid);   // 0.9 burstiness: much longer runs
+}
+
+TEST(Burstiness, DqvlBenefitsMajorityDoesNot) {
+  auto overall = [](Protocol proto, double b) {
+    ExperimentParams p;
+    p.protocol = proto;
+    p.write_ratio = 0.3;
+    p.burstiness = b;
+    p.requests_per_client = 250;
+    p.seed = 7;
+    p.choose_object = [](Rng&) { return ObjectId(5); };
+    return run_experiment(p).all_ms.mean();
+  };
+  const double dq_iid = overall(Protocol::kDqvl, 0.0);
+  const double dq_bursty = overall(Protocol::kDqvl, 0.9);
+  EXPECT_LT(dq_bursty, dq_iid * 0.75)
+      << "bursts must help DQVL (hits + suppresses)";
+  const double mj_iid = overall(Protocol::kMajority, 0.0);
+  const double mj_bursty = overall(Protocol::kMajority, 0.9);
+  EXPECT_NEAR(mj_bursty, mj_iid, mj_iid * 0.1)
+      << "majority has no cache to warm";
+}
+
+TEST(Burstiness, StillRegularUnderBurstyContention) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.write_ratio = 0.4;
+  p.burstiness = 0.85;
+  p.requests_per_client = 80;
+  p.lease_length = sim::milliseconds(700);
+  p.seed = 11;
+  p.choose_object = [](Rng&) { return ObjectId(1); };
+  const auto r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+}  // namespace
+}  // namespace dq::workload

@@ -1,0 +1,113 @@
+// Chaos suite: long randomized runs combining everything the fault plane
+// can do -- node churn, message loss, duplication, delay jitter, clock
+// drift, short leases, epoch GC pressure, contention, bursts -- and
+// asserting the one property that must survive it all: every completed
+// read is regular.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/experiment.h"
+
+namespace dq::workload {
+namespace {
+
+using ChaosCase = std::tuple<Protocol, std::uint64_t>;
+
+class Chaos : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(Chaos, RegularSemanticsSurviveEverything) {
+  const auto [proto, seed] = GetParam();
+  ExperimentParams p;
+  p.protocol = proto;
+  p.seed = seed;
+  p.write_ratio = 0.35;
+  p.burstiness = 0.6;
+  p.locality = 0.85;
+  p.requests_per_client = 120;
+  p.lease_length = sim::milliseconds(600);
+  p.object_lease_length = sim::seconds(3);
+  p.num_volumes = 3;
+  p.max_delayed_per_volume = 4;   // force epoch GC under churn
+  p.max_drift = 0.02;
+  p.loss = 0.04;
+  p.topo.jitter = 0.3;            // reordering
+  p.op_deadline = sim::seconds(25);
+  p.failures = sim::FailureInjector::Params::for_unavailability(
+      0.06, sim::seconds(15));    // frequent short outages
+  p.choose_object = [](Rng& rng) { return ObjectId(rng.below(5)); };
+
+  Deployment dep(p);
+  // Sprinkle duplication on top.
+  dep.world().faults().set_duplication_probability(0.03);
+  dep.start_clients();
+  while (!dep.clients_done() &&
+         dep.world().now() < sim::seconds(200000)) {
+    dep.world().run_for(sim::seconds(2));
+  }
+  EXPECT_TRUE(dep.clients_done()) << "workload wedged under chaos";
+  const auto r = dep.collect();
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.size()
+      << " violations, first: " << r.violations.front().reason;
+  // Progress despite the chaos: most requests complete.
+  EXPECT_GT(r.availability(), 0.5);
+}
+
+std::vector<ChaosCase> chaos_cases() {
+  std::vector<ChaosCase> out;
+  for (Protocol proto : {Protocol::kDqvl, Protocol::kDqvlAtomic,
+                         Protocol::kMajority}) {
+    for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
+      out.emplace_back(proto, seed);
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storm, Chaos, ::testing::ValuesIn(chaos_cases()),
+    [](const ::testing::TestParamInfo<ChaosCase>& info) {
+      std::string name = protocol_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+// Crash-restart churn (process deaths, not just unreachability): OQS soft
+// state evaporates and must be re-derived; IQS durable state survives.
+TEST(ChaosExtra, CrashRestartChurn) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.seed = 404;
+  p.write_ratio = 0.3;
+  p.requests_per_client = 100;
+  p.lease_length = sim::seconds(1);
+  p.op_deadline = sim::seconds(20);
+  p.choose_object = [](Rng& rng) { return ObjectId(rng.below(4)); };
+  Deployment dep(p);
+  auto& w = dep.world();
+  // Every 3 seconds, crash-restart a random server.
+  std::function<void()> churn = [&] {
+    const auto idx = w.rng().below(w.topology().num_servers());
+    const NodeId n = w.topology().server(idx);
+    w.crash(n);
+    w.scheduler().schedule_after(sim::milliseconds(500),
+                                 [&w, n] { w.restart(n); });
+    w.scheduler().schedule_after(sim::seconds(3), churn);
+  };
+  w.scheduler().schedule_after(sim::seconds(2), churn);
+
+  dep.start_clients();
+  while (!dep.clients_done() && w.now() < sim::seconds(100000)) {
+    w.run_for(sim::seconds(2));
+  }
+  EXPECT_TRUE(dep.clients_done());
+  const auto r = dep.collect();
+  EXPECT_TRUE(r.violations.empty())
+      << "first: " << r.violations.front().reason;
+}
+
+}  // namespace
+}  // namespace dq::workload

@@ -1,0 +1,206 @@
+// Property suite: regular semantics under adversarial conditions.
+//
+// Every strong protocol (DQVL, basic DQ, majority, primary/backup-sync,
+// ROWA) must produce regular histories across random seeds, message loss,
+// contention on shared objects, clock drift, and short lease configurations.
+// ROWA-Async is the negative control: under partitions it must eventually
+// produce a violation (if it never did, the checker would be vacuous).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/experiment.h"
+
+namespace dq::workload {
+namespace {
+
+// (protocol, seed, loss, write_ratio)
+using Case = std::tuple<Protocol, std::uint64_t, double, double>;
+
+class RegularSemantics : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RegularSemantics, HoldsUnderContentionAndLoss) {
+  const auto [proto, seed, loss, write_ratio] = GetParam();
+  ExperimentParams p;
+  p.protocol = proto;
+  p.seed = seed;
+  p.loss = loss;
+  p.write_ratio = write_ratio;
+  p.requests_per_client = 60;
+  p.lease_length = sim::milliseconds(700);  // short: lots of renewals
+  p.max_drift = 0.01;
+  p.num_volumes = 2;
+  // All three clients fight over two objects: maximal interleaving.
+  p.choose_object = [](Rng& rng) { return ObjectId(rng.below(2)); };
+  const auto r = run_experiment(p);
+  EXPECT_EQ(r.rejected_reads + r.rejected_writes, 0u);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.size()
+      << " violations, first: " << r.violations.front().reason;
+}
+
+std::vector<Case> strong_cases() {
+  std::vector<Case> out;
+  for (Protocol proto :
+       {Protocol::kDqvl, Protocol::kDqBasic, Protocol::kMajority,
+        Protocol::kPrimaryBackupSync, Protocol::kRowa}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      for (double loss : {0.0, 0.05}) {
+        for (double w : {0.3, 0.7}) {
+          out.emplace_back(proto, seed, loss, w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = protocol_name(std::get<0>(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  name += "_s" + std::to_string(std::get<1>(info.param));
+  name += std::get<2>(info.param) > 0 ? "_lossy" : "_clean";
+  name += std::get<3>(info.param) > 0.5 ? "_writeheavy" : "_mixed";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegularSemantics,
+                         ::testing::ValuesIn(strong_cases()), case_name);
+
+// DQVL with a 1-node IQS degenerates gracefully (single home for writes,
+// cached reads everywhere).
+TEST(RegularSemanticsExtra, DqvlSingletonIqs) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.iqs_size = 1;
+  p.write_ratio = 0.4;
+  p.requests_per_client = 80;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  const auto r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// DQVL with a larger OQS read quorum (paper section 6 future work).
+TEST(RegularSemanticsExtra, DqvlReadQuorumOfThree) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.oqs_read_quorum = 3;
+  p.write_ratio = 0.4;
+  p.requests_per_client = 60;
+  p.seed = 31;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  const auto r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// Many volumes with cross-volume traffic.
+TEST(RegularSemanticsExtra, DqvlManyVolumes) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.num_volumes = 8;
+  p.lease_length = sim::milliseconds(500);
+  p.write_ratio = 0.3;
+  p.requests_per_client = 80;
+  p.choose_object = [](Rng& rng) { return ObjectId(rng.below(16)); };
+  const auto r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// Suppression disabled must still be correct (it is an optimization).
+TEST(RegularSemanticsExtra, DqvlWithoutSuppression) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.suppression = false;
+  p.write_ratio = 0.5;
+  p.requests_per_client = 60;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  const auto r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// Proactive renewal must not break correctness either.
+TEST(RegularSemanticsExtra, DqvlWithProactiveRenewal) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.proactive_renewal = true;
+  p.lease_length = sim::milliseconds(600);
+  p.write_ratio = 0.3;
+  p.requests_per_client = 80;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  const auto r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// Regular semantics under node churn (crash-like unreachability cycling),
+// with deadlines so requests reject rather than hang.
+TEST(RegularSemanticsExtra, DqvlUnderNodeChurn) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.write_ratio = 0.3;
+  p.requests_per_client = 60;
+  p.lease_length = sim::seconds(1);
+  p.op_deadline = sim::seconds(20);
+  p.failures = sim::FailureInjector::Params::for_unavailability(
+      0.05, sim::seconds(20));
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  p.seed = 43;
+  const auto r = run_experiment(p);
+  // Some requests may reject; none may be inconsistent.
+  EXPECT_TRUE(r.violations.empty())
+      << "first: " << r.violations.front().reason;
+  EXPECT_GT(r.completed_reads + r.completed_writes, 0u);
+}
+
+// Negative control: ROWA-Async under a partition serves stale reads.
+TEST(RegularSemanticsExtra, RowaAsyncViolatesUnderPartition) {
+  ExperimentParams p;
+  p.protocol = Protocol::kRowaAsync;
+  p.write_ratio = 0.5;
+  p.requests_per_client = 60;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  Deployment dep(p);
+  // Split {servers 0, 1 + their clients} from the rest: gossip cannot
+  // cross, but each side keeps serving its local clients -- and the third
+  // client (homed at server 2) writes on the other side.
+  const auto& topo = dep.world().topology();
+  dep.world().faults().set_group(topo.server(0), 1);
+  dep.world().faults().set_group(topo.server(1), 1);
+  dep.world().faults().set_group(topo.client(0), 1);  // homed at server 0
+  dep.world().faults().set_group(topo.client(1), 1);  // homed at server 1
+  const auto r = dep.run();
+  EXPECT_EQ(r.rejected_reads + r.rejected_writes, 0u)
+      << "ROWA-Async never rejects -- that is its problem";
+  EXPECT_FALSE(r.violations.empty())
+      << "expected stale reads across the partition";
+}
+
+// And the same partition leaves every strong protocol consistent (some
+// requests reject instead).
+TEST(RegularSemanticsExtra, DqvlStaysRegularUnderPartition) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.write_ratio = 0.5;
+  p.requests_per_client = 40;
+  p.op_deadline = sim::seconds(30);
+  p.lease_length = sim::seconds(1);
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  Deployment dep(p);
+  for (std::size_t i = 0; i < 4; ++i) {
+    dep.world().faults().set_group(dep.world().topology().server(i), 1);
+  }
+  dep.start_clients();
+  dep.world().run_for(sim::seconds(120));
+  dep.world().faults().heal();
+  while (!dep.clients_done() &&
+         dep.world().now() < sim::seconds(100000)) {
+    dep.world().run_for(sim::seconds(1));
+  }
+  const auto r = dep.collect();
+  EXPECT_TRUE(r.violations.empty())
+      << "first: " << r.violations.front().reason;
+}
+
+}  // namespace
+}  // namespace dq::workload

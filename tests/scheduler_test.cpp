@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event scheduler: time monotonicity, FIFO tie
+// breaking, cancellation, and deadline semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace dq::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RunsEventsInTimestampOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, EqualTimestampsRunInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, SchedulingInThePastClampsToNow) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  ASSERT_EQ(s.now(), 100);
+  bool ran = false;
+  s.schedule_at(50, [&] { ran = true; });  // in the past
+  s.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 100);  // did not travel back
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(s.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.run_until(100), 1u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Scheduler s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, CancelledEventsDoNotRun) {
+  Scheduler s;
+  bool ran = false;
+  TimerToken t = s.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(t.pending());
+  t.cancel();
+  EXPECT_FALSE(t.pending());
+  s.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelAfterFiringIsHarmless) {
+  Scheduler s;
+  int runs = 0;
+  TimerToken t = s.schedule_at(10, [&] { ++runs; });
+  s.run_all();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(t.pending());
+  t.cancel();
+  s.run_all();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<Time> fired;
+  std::function<void()> chain = [&] {
+    fired.push_back(s.now());
+    if (fired.size() < 5) s.schedule_after(10, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_all();
+  EXPECT_EQ(fired, (std::vector<Time>{0, 10, 20, 30, 40}));
+}
+
+TEST(Scheduler, ExecutedEventCountExcludesCancelled) {
+  Scheduler s;
+  s.schedule_at(1, [] {});
+  TimerToken t = s.schedule_at(2, [] {});
+  t.cancel();
+  s.schedule_at(3, [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed_events(), 2u);
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  bool ran = false;
+  s.schedule_after(-50, [&] { ran = true; });
+  s.run_all();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace dq::sim

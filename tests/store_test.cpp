@@ -1,0 +1,98 @@
+// Object store and volume map tests.
+#include <gtest/gtest.h>
+
+#include "store/object_store.h"
+
+namespace dq::store {
+namespace {
+
+TEST(ObjectStore, GetOfAbsentObjectIsInitialValue) {
+  ObjectStore s;
+  const VersionedValue vv = s.get(ObjectId(1));
+  EXPECT_TRUE(vv.value.empty());
+  EXPECT_EQ(vv.clock, LogicalClock::zero());
+  EXPECT_FALSE(s.contains(ObjectId(1)));
+}
+
+TEST(ObjectStore, ApplyStoresAndGetReturns) {
+  ObjectStore s;
+  EXPECT_TRUE(s.apply(ObjectId(1), "a", {1, 0}));
+  EXPECT_EQ(s.get(ObjectId(1)).value, "a");
+  EXPECT_EQ(s.clock_of(ObjectId(1)), (LogicalClock{1, 0}));
+  EXPECT_TRUE(s.contains(ObjectId(1)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ObjectStore, NewerClockWins) {
+  ObjectStore s;
+  s.apply(ObjectId(1), "a", {1, 0});
+  EXPECT_TRUE(s.apply(ObjectId(1), "b", {2, 0}));
+  EXPECT_EQ(s.get(ObjectId(1)).value, "b");
+}
+
+TEST(ObjectStore, OlderOrEqualClockIsRejected) {
+  ObjectStore s;
+  s.apply(ObjectId(1), "b", {2, 0});
+  EXPECT_FALSE(s.apply(ObjectId(1), "a", {1, 0}));
+  EXPECT_FALSE(s.apply(ObjectId(1), "x", {2, 0}));  // idempotent replay
+  EXPECT_EQ(s.get(ObjectId(1)).value, "b");
+}
+
+TEST(ObjectStore, TieBreakByWriterId) {
+  ObjectStore s;
+  s.apply(ObjectId(1), "a", {1, 1});
+  EXPECT_TRUE(s.apply(ObjectId(1), "b", {1, 2}));  // same counter, higher id
+  EXPECT_EQ(s.get(ObjectId(1)).value, "b");
+  EXPECT_FALSE(s.apply(ObjectId(1), "c", {1, 1}));
+}
+
+TEST(ObjectStore, ApplicationOrderDoesNotMatter) {
+  // Convergence property behind the epidemic protocols: max-clock merge is
+  // commutative, associative, idempotent.
+  std::vector<std::pair<Value, LogicalClock>> updates = {
+      {"a", {1, 0}}, {"b", {3, 1}}, {"c", {2, 2}}, {"d", {3, 0}}};
+  ObjectStore fwd, rev;
+  for (const auto& [v, lc] : updates) fwd.apply(ObjectId(9), v, lc);
+  for (auto it = updates.rbegin(); it != updates.rend(); ++it) {
+    rev.apply(ObjectId(9), it->first, it->second);
+  }
+  EXPECT_EQ(fwd.get(ObjectId(9)), rev.get(ObjectId(9)));
+  EXPECT_EQ(fwd.get(ObjectId(9)).value, "b");
+}
+
+TEST(ObjectStore, DigestListsAllObjects) {
+  ObjectStore s;
+  s.apply(ObjectId(1), "a", {1, 0});
+  s.apply(ObjectId(2), "b", {5, 0});
+  auto d = s.digest();
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(ObjectStore, ClearEmpties) {
+  ObjectStore s;
+  s.apply(ObjectId(1), "a", {1, 0});
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(ObjectId(1)));
+}
+
+TEST(VolumeMap, SingleVolumeMapsEverythingTogether) {
+  VolumeMap m(1);
+  EXPECT_EQ(m.volume_of(ObjectId(0)), m.volume_of(ObjectId(12345)));
+  EXPECT_EQ(m.num_volumes(), 1u);
+}
+
+TEST(VolumeMap, SpreadsAcrossVolumes) {
+  VolumeMap m(4);
+  EXPECT_EQ(m.volume_of(ObjectId(0)), VolumeId(0));
+  EXPECT_EQ(m.volume_of(ObjectId(5)), VolumeId(1));
+  EXPECT_EQ(m.all_volumes().size(), 4u);
+}
+
+TEST(VolumeMap, ZeroVolumesClampedToOne) {
+  VolumeMap m(0);
+  EXPECT_EQ(m.num_volumes(), 1u);
+}
+
+}  // namespace
+}  // namespace dq::store
