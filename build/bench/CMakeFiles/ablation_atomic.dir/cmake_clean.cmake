@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_atomic.dir/ablation_atomic.cpp.o"
+  "CMakeFiles/ablation_atomic.dir/ablation_atomic.cpp.o.d"
+  "ablation_atomic"
+  "ablation_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

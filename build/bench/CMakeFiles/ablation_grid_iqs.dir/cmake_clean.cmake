@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grid_iqs.dir/ablation_grid_iqs.cpp.o"
+  "CMakeFiles/ablation_grid_iqs.dir/ablation_grid_iqs.cpp.o.d"
+  "ablation_grid_iqs"
+  "ablation_grid_iqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grid_iqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

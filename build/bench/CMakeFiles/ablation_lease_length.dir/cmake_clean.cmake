@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lease_length.dir/ablation_lease_length.cpp.o"
+  "CMakeFiles/ablation_lease_length.dir/ablation_lease_length.cpp.o.d"
+  "ablation_lease_length"
+  "ablation_lease_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lease_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_object_lease.dir/ablation_object_lease.cpp.o"
+  "CMakeFiles/ablation_object_lease.dir/ablation_object_lease.cpp.o.d"
+  "ablation_object_lease"
+  "ablation_object_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_object_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

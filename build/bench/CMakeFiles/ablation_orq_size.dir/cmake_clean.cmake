@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_orq_size.dir/ablation_orq_size.cpp.o"
+  "CMakeFiles/ablation_orq_size.dir/ablation_orq_size.cpp.o.d"
+  "ablation_orq_size"
+  "ablation_orq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_orq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

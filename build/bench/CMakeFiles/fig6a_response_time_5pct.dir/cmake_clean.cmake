@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_response_time_5pct.dir/fig6a_response_time_5pct.cpp.o"
+  "CMakeFiles/fig6a_response_time_5pct.dir/fig6a_response_time_5pct.cpp.o.d"
+  "fig6a_response_time_5pct"
+  "fig6a_response_time_5pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_response_time_5pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

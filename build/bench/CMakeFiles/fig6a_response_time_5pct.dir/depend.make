@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_response_time_5pct.
+# This may be replaced when dependencies are built.

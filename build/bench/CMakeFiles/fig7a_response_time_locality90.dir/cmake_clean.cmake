@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_response_time_locality90.dir/fig7a_response_time_locality90.cpp.o"
+  "CMakeFiles/fig7a_response_time_locality90.dir/fig7a_response_time_locality90.cpp.o.d"
+  "fig7a_response_time_locality90"
+  "fig7a_response_time_locality90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_response_time_locality90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

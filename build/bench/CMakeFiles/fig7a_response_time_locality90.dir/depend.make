@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7a_response_time_locality90.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7b_response_vs_locality.cpp" "bench/CMakeFiles/fig7b_response_vs_locality.dir/fig7b_response_vs_locality.cpp.o" "gcc" "bench/CMakeFiles/fig7b_response_vs_locality.dir/fig7b_response_vs_locality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dq_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/dq_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dq_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dq_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

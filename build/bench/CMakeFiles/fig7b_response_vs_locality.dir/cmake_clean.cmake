@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_response_vs_locality.dir/fig7b_response_vs_locality.cpp.o"
+  "CMakeFiles/fig7b_response_vs_locality.dir/fig7b_response_vs_locality.cpp.o.d"
+  "fig7b_response_vs_locality"
+  "fig7b_response_vs_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_response_vs_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_unavail_vs_write_rate.dir/fig8a_unavail_vs_write_rate.cpp.o"
+  "CMakeFiles/fig8a_unavail_vs_write_rate.dir/fig8a_unavail_vs_write_rate.cpp.o.d"
+  "fig8a_unavail_vs_write_rate"
+  "fig8a_unavail_vs_write_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_unavail_vs_write_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

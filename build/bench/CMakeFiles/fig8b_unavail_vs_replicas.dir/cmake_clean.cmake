@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_unavail_vs_replicas.dir/fig8b_unavail_vs_replicas.cpp.o"
+  "CMakeFiles/fig8b_unavail_vs_replicas.dir/fig8b_unavail_vs_replicas.cpp.o.d"
+  "fig8b_unavail_vs_replicas"
+  "fig8b_unavail_vs_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_unavail_vs_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

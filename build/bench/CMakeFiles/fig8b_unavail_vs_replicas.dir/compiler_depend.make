@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8b_unavail_vs_replicas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_overhead_vs_write_rate.dir/fig9a_overhead_vs_write_rate.cpp.o"
+  "CMakeFiles/fig9a_overhead_vs_write_rate.dir/fig9a_overhead_vs_write_rate.cpp.o.d"
+  "fig9a_overhead_vs_write_rate"
+  "fig9a_overhead_vs_write_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_overhead_vs_write_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_overhead_vs_oqs_size.dir/fig9b_overhead_vs_oqs_size.cpp.o"
+  "CMakeFiles/fig9b_overhead_vs_oqs_size.dir/fig9b_overhead_vs_oqs_size.cpp.o.d"
+  "fig9b_overhead_vs_oqs_size"
+  "fig9b_overhead_vs_oqs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_overhead_vs_oqs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

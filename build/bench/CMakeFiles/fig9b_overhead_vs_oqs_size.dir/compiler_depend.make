@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9b_overhead_vs_oqs_size.
+# This may be replaced when dependencies are built.

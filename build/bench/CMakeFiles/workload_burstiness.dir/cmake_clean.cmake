@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_burstiness.dir/workload_burstiness.cpp.o"
+  "CMakeFiles/workload_burstiness.dir/workload_burstiness.cpp.o.d"
+  "workload_burstiness"
+  "workload_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_profile_service.dir/edge_profile_service.cpp.o"
+  "CMakeFiles/edge_profile_service.dir/edge_profile_service.cpp.o.d"
+  "edge_profile_service"
+  "edge_profile_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_profile_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_analysis.dir/availability.cpp.o"
+  "CMakeFiles/dq_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/dq_analysis.dir/overhead.cpp.o"
+  "CMakeFiles/dq_analysis.dir/overhead.cpp.o.d"
+  "libdq_analysis.a"
+  "libdq_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

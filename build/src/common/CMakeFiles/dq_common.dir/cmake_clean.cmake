@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_common.dir/rng.cpp.o"
+  "CMakeFiles/dq_common.dir/rng.cpp.o.d"
+  "libdq_common.a"
+  "libdq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

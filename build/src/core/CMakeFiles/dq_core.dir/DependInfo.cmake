@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dq_atomic_client.cpp" "src/core/CMakeFiles/dq_core.dir/dq_atomic_client.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/dq_atomic_client.cpp.o.d"
+  "/root/repo/src/core/dq_client.cpp" "src/core/CMakeFiles/dq_core.dir/dq_client.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/dq_client.cpp.o.d"
+  "/root/repo/src/core/iqs_server.cpp" "src/core/CMakeFiles/dq_core.dir/iqs_server.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/iqs_server.cpp.o.d"
+  "/root/repo/src/core/oqs_server.cpp" "src/core/CMakeFiles/dq_core.dir/oqs_server.cpp.o" "gcc" "src/core/CMakeFiles/dq_core.dir/oqs_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dq_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/dq_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_core.dir/dq_atomic_client.cpp.o"
+  "CMakeFiles/dq_core.dir/dq_atomic_client.cpp.o.d"
+  "CMakeFiles/dq_core.dir/dq_client.cpp.o"
+  "CMakeFiles/dq_core.dir/dq_client.cpp.o.d"
+  "CMakeFiles/dq_core.dir/iqs_server.cpp.o"
+  "CMakeFiles/dq_core.dir/iqs_server.cpp.o.d"
+  "CMakeFiles/dq_core.dir/oqs_server.cpp.o"
+  "CMakeFiles/dq_core.dir/oqs_server.cpp.o.d"
+  "libdq_core.a"
+  "libdq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_protocols.dir/majority.cpp.o"
+  "CMakeFiles/dq_protocols.dir/majority.cpp.o.d"
+  "CMakeFiles/dq_protocols.dir/primary_backup.cpp.o"
+  "CMakeFiles/dq_protocols.dir/primary_backup.cpp.o.d"
+  "CMakeFiles/dq_protocols.dir/rowa.cpp.o"
+  "CMakeFiles/dq_protocols.dir/rowa.cpp.o.d"
+  "CMakeFiles/dq_protocols.dir/rowa_async.cpp.o"
+  "CMakeFiles/dq_protocols.dir/rowa_async.cpp.o.d"
+  "libdq_protocols.a"
+  "libdq_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

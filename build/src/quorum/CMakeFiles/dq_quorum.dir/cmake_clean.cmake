@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_quorum.dir/quorum.cpp.o"
+  "CMakeFiles/dq_quorum.dir/quorum.cpp.o.d"
+  "libdq_quorum.a"
+  "libdq_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_rpc.dir/qrpc.cpp.o"
+  "CMakeFiles/dq_rpc.dir/qrpc.cpp.o.d"
+  "libdq_rpc.a"
+  "libdq_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_sim.dir/__/msg/wire.cpp.o"
+  "CMakeFiles/dq_sim.dir/__/msg/wire.cpp.o.d"
+  "CMakeFiles/dq_sim.dir/network.cpp.o"
+  "CMakeFiles/dq_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dq_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/dq_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dq_sim.dir/trace.cpp.o"
+  "CMakeFiles/dq_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/dq_sim.dir/world.cpp.o"
+  "CMakeFiles/dq_sim.dir/world.cpp.o.d"
+  "libdq_sim.a"
+  "libdq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_workload.dir/app_client.cpp.o"
+  "CMakeFiles/dq_workload.dir/app_client.cpp.o.d"
+  "CMakeFiles/dq_workload.dir/experiment.cpp.o"
+  "CMakeFiles/dq_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/dq_workload.dir/history.cpp.o"
+  "CMakeFiles/dq_workload.dir/history.cpp.o.d"
+  "libdq_workload.a"
+  "libdq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

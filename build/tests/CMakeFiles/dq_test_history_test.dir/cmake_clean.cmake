@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dq_test_history_test.dir/history_test.cpp.o"
+  "CMakeFiles/dq_test_history_test.dir/history_test.cpp.o.d"
+  "dq_test_history_test"
+  "dq_test_history_test.pdb"
+  "dq_test_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dq_test_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

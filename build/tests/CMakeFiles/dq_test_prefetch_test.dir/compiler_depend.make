@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dq_test_prefetch_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dq_test_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_common_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_world_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_quorum_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_qrpc_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_store_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_dqvl_core_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_history_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_iqs_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_oqs_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_burstiness_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_volume_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_mc_availability_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_batching_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_latency_model_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/dq_test_qrpc_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsim.dir/dqsim.cpp.o"
+  "CMakeFiles/dqsim.dir/dqsim.cpp.o.d"
+  "dqsim"
+  "dqsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
