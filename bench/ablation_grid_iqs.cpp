@@ -13,7 +13,8 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("ablation_grid_iqs", argc, argv);
   header("Ablation", "grid-quorum IQS vs majority IQS (9 IQS members)");
 
   // Protocol-level comparison, including the per-IQS-node load that
@@ -23,20 +24,20 @@ int main() {
   for (bool grid : {false, true}) {
     workload::ExperimentParams p;
     p.protocol = workload::Protocol::kDqvl;
-    p.iqs_size = 9;
-    if (grid) {
-      p.iqs_grid_rows = 3;
-      p.iqs_grid_cols = 3;
-    }
+    p.iqs = grid ? workload::QuorumSpec::grid(3, 3)
+                 : workload::QuorumSpec::majority(9);
     p.write_ratio = 0.3;
     p.requests_per_client = 300;
     p.seed = 41;
     p.choose_object = [](Rng&) { return ObjectId(1); };
     workload::Deployment dep(p);
     const auto r = dep.run();
+    rep.record(p, r);
+    // Per-IQS-node request load straight from the metrics registry.
     std::uint64_t max_load = 0;
-    for (NodeId n : dep.dq_config()->iqs->members()) {
-      max_load = std::max(max_load, dep.world().received_by(n));
+    for (const auto& [node, load] :
+         r.metrics.counters_with_prefix("iqs.load.")) {
+      max_load = std::max(max_load, load);
     }
     row({grid ? "grid 3x3" : "majority 9", fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.messages_per_request, 1),

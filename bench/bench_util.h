@@ -1,16 +1,20 @@
-// Shared helpers for the figure-regeneration benches: experiment shortcuts
-// and aligned table printing.
+// Shared helpers for the figure-regeneration benches: experiment shortcuts,
+// aligned table printing, and the snapshot reporter.
 //
 // Every bench prints (a) what the paper's figure shows, (b) the series this
 // implementation produces, so EXPERIMENTS.md can record paper-vs-measured
-// for each figure.
+// for each figure.  Benches additionally drop a machine-readable
+// BENCH_<name>.json next to that output (see Reporter), so figure data can
+// be regenerated and diffed without scraping stdout.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/experiment.h"
+#include "workload/report.h"
 
 namespace dq::bench {
 
@@ -37,9 +41,9 @@ inline std::string fmt_sci(double v) {
   return buf;
 }
 
-// A response-time experiment with the paper's section 4.1 setup: 9 edge
-// servers, 3 application clients, 8/86/80 ms RTTs, closed loop.
-inline workload::ExperimentResult response_time_run(
+// The paper's section 4.1 response-time setup: 9 edge servers, 3 application
+// clients, 8/86/80 ms RTTs, closed loop.
+inline workload::ExperimentParams response_time_params(
     workload::Protocol proto, double write_ratio, double locality,
     std::uint64_t seed = 42, std::size_t requests = 400) {
   workload::ExperimentParams p;
@@ -48,7 +52,74 @@ inline workload::ExperimentResult response_time_run(
   p.locality = locality;
   p.requests_per_client = requests;
   p.seed = seed;
-  return workload::run_experiment(p);
+  return p;
 }
+
+inline workload::ExperimentResult response_time_run(
+    workload::Protocol proto, double write_ratio, double locality,
+    std::uint64_t seed = 42, std::size_t requests = 400) {
+  return workload::run_experiment(
+      response_time_params(proto, write_ratio, locality, seed, requests));
+}
+
+// Collects one dq.report.v1 document per recorded run and writes them as a
+// dq.bench.v1 envelope on destruction:
+//
+//   {"schema": "dq.bench.v1", "bench": "<name>", "runs": [<report>, ...]}
+//
+// Default output path is BENCH_<name>.json in the working directory;
+// --json=PATH on the bench command line overrides it.
+class Reporter {
+ public:
+  explicit Reporter(std::string name, int argc = 0, char** argv = nullptr)
+      : name_(std::move(name)), path_("BENCH_" + name_ + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--json=", 0) == 0) path_ = a.substr(7);
+    }
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  ~Reporter() { write(); }
+
+  // Run an experiment and record its report.
+  workload::ExperimentResult run(const workload::ExperimentParams& p) {
+    workload::ExperimentResult r = workload::run_experiment(p);
+    record(p, r);
+    return r;
+  }
+
+  // Record a run executed elsewhere (e.g. via a Deployment).
+  void record(const workload::ExperimentParams& p,
+              const workload::ExperimentResult& r) {
+    runs_.push_back(workload::report::to_json(p, r));
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"schema\":\"dq.bench.v1\",\"bench\":\"%s\",\"runs\":[",
+                 name_.c_str());
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", runs_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu runs)\n", path_.c_str(), runs_.size());
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::string> runs_;
+  bool written_ = false;
+};
 
 }  // namespace dq::bench

@@ -10,16 +10,17 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig6a", argc, argv);
   header("Figure 6(a)", "response time at 5% write ratio, locality 100%");
   row({"protocol", "read(ms)", "write(ms)", "overall(ms)", "p99(ms)",
        "violations"});
   double dqvl_read = 0, pb_read = 0, maj_read = 0;
   for (workload::Protocol proto : workload::paper_protocols()) {
-    const auto r = response_time_run(proto, 0.05, 1.0);
+    const auto r = rep.run(response_time_params(proto, 0.05, 1.0));
     row({workload::protocol_name(proto), fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.all_ms.mean()),
-         fmt(r.all_ms.percentile(99)), std::to_string(r.violations.size())});
+         fmt(r.all_ms.p99()), std::to_string(r.violations.size())});
     if (proto == workload::Protocol::kDqvl) dqvl_read = r.read_ms.mean();
     if (proto == workload::Protocol::kPrimaryBackup) pb_read = r.read_ms.mean();
     if (proto == workload::Protocol::kMajority) maj_read = r.read_ms.mean();

@@ -11,7 +11,8 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig6b", argc, argv);
   header("Figure 6(b)", "avg response time (ms) vs write ratio, locality 100%");
   const auto protos = workload::paper_protocols();
   std::vector<std::string> head{"write%"};
@@ -21,7 +22,8 @@ int main() {
   for (double w : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     std::vector<std::string> cells{fmt(100 * w, 0)};
     for (auto proto : protos) {
-      const auto r = response_time_run(proto, w, 1.0, /*seed=*/7, 250);
+      const auto r = rep.run(response_time_params(proto, w, 1.0, /*seed=*/7,
+                                                  250));
       cells.push_back(fmt(r.all_ms.mean()));
       if (w == 1.0 && proto == workload::Protocol::kDqvl) {
         dqvl_at_1 = r.all_ms.mean();

@@ -11,12 +11,14 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig7a", argc, argv);
   header("Figure 7(a)", "response time at 5% writes, 90% access locality");
   row({"protocol", "read(ms)", "write(ms)", "overall(ms)", "violations"});
   double dqvl = 0, pb = 0, maj = 0;
   for (workload::Protocol proto : workload::paper_protocols()) {
-    const auto r = response_time_run(proto, 0.05, 0.9, /*seed=*/19);
+    const auto r = rep.run(response_time_params(proto, 0.05, 0.9,
+                                                /*seed=*/19));
     row({workload::protocol_name(proto), fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.all_ms.mean()),
          std::to_string(r.violations.size())});

@@ -12,7 +12,8 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig7b", argc, argv);
   header("Figure 7(b)", "avg response time (ms) vs access locality, 5% writes");
   const auto protos = workload::paper_protocols();
   std::vector<std::string> head{"locality%"};
@@ -25,7 +26,8 @@ int main() {
     std::vector<std::string> cells{fmt(100 * loc, 0)};
     double dqvl = 0, pb = 1e18, maj = 1e18;
     for (auto proto : protos) {
-      const auto r = response_time_run(proto, 0.05, loc, /*seed=*/3, 300);
+      const auto r = rep.run(response_time_params(proto, 0.05, loc,
+                                                  /*seed=*/3, 300));
       cells.push_back(fmt(r.all_ms.mean()));
       if (proto == workload::Protocol::kDqvl) dqvl = r.all_ms.mean();
       if (proto == workload::Protocol::kPrimaryBackup) pb = r.all_ms.mean();

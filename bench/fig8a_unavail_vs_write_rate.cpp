@@ -20,15 +20,15 @@ namespace {
 
 // Monte-Carlo cross-check: run the real protocols with failure injection
 // and per-op deadlines; measure the rejected fraction.
-double measured_unavailability(workload::Protocol proto, double w,
-                               double p_node, std::uint64_t seed) {
+double measured_unavailability(Reporter& rep, workload::Protocol proto,
+                               double w, double p_node, std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = w;
   p.requests_per_client = 400;
   p.seed = seed;
   p.topo.num_servers = 5;
-  p.iqs_size = 5;
+  p.iqs = workload::QuorumSpec::majority(5);
   p.lease_length = sim::seconds(1);
   // Repairs (mean ~11 s) far exceed the per-op deadline (3 s), so a request
   // that needs an unreachable quorum is rejected rather than waiting out
@@ -38,13 +38,14 @@ double measured_unavailability(workload::Protocol proto, double w,
   p.failures =
       sim::FailureInjector::Params::for_unavailability(p_node,
                                                        sim::seconds(100));
-  const auto r = workload::run_experiment(p);
+  const auto r = rep.run(p);
   return 1.0 - r.availability();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig8a", argc, argv);
   header("Figure 8(a)",
          "unavailability vs write ratio (analytical; n = 15, p = 0.01)");
   row({"write%", "DQVL", "majority", "p/backup", "ROWA", "ROWA-A(ns)",
@@ -69,9 +70,9 @@ int main() {
   coarse.p = 0.10;
   for (double w : {0.1, 0.5}) {
     const double dq_sim =
-        measured_unavailability(workload::Protocol::kDqvl, w, 0.10, 91);
-    const double mj_sim =
-        measured_unavailability(workload::Protocol::kMajority, w, 0.10, 91);
+        measured_unavailability(rep, workload::Protocol::kDqvl, w, 0.10, 91);
+    const double mj_sim = measured_unavailability(
+        rep, workload::Protocol::kMajority, w, 0.10, 91);
     row({fmt(100 * w, 0), fmt_sci(dq_sim), fmt_sci(1 - coarse.dqvl(w)),
          fmt_sci(mj_sim), fmt_sci(1 - coarse.majority(w))});
   }

@@ -12,7 +12,8 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig8b", argc, argv);  // analytical only: empty runs array
   header("Figure 8(b)",
          "unavailability vs #replicas (analytical; w = 0.25, p = 0.01)");
   row({"replicas", "DQVL", "majority", "p/backup", "ROWA", "ROWA-A(ns)"});

@@ -20,8 +20,8 @@ using namespace dq::bench;
 
 namespace {
 
-double simulated_msgs_per_request(workload::Protocol proto, double w,
-                                  std::uint64_t seed) {
+double simulated_msgs_per_request(Reporter& rep, workload::Protocol proto,
+                                  double w, std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = w;
@@ -29,13 +29,14 @@ double simulated_msgs_per_request(workload::Protocol proto, double w,
   p.seed = seed;
   // One hot object maximizes read-miss / write-through interleaving.
   p.choose_object = [](Rng&) { return ObjectId(7); };
-  const auto r = workload::run_experiment(p);
+  const auto r = rep.run(p);
   return r.messages_per_request;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig9a", argc, argv);
   header("Figure 9(a)",
          "messages per request vs write ratio (worst-case interleaving)");
   std::printf("analytical model (n = 15, IQS = majority of 15):\n");
@@ -53,10 +54,12 @@ int main() {
   row({"write%", "DQVL", "majority", "ROWA"});
   for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     row({fmt(100 * w, 0),
-         fmt(simulated_msgs_per_request(workload::Protocol::kDqvl, w, 57), 1),
-         fmt(simulated_msgs_per_request(workload::Protocol::kMajority, w, 57),
+         fmt(simulated_msgs_per_request(rep, workload::Protocol::kDqvl, w, 57),
              1),
-         fmt(simulated_msgs_per_request(workload::Protocol::kRowa, w, 57),
+         fmt(simulated_msgs_per_request(rep, workload::Protocol::kMajority, w,
+                                        57),
+             1),
+         fmt(simulated_msgs_per_request(rep, workload::Protocol::kRowa, w, 57),
              1)});
   }
   std::printf("\npaper: DQVL's overhead peaks near w = 50%% and exceeds "

@@ -14,23 +14,24 @@ using namespace dq::bench;
 
 namespace {
 
-double simulated_msgs_per_request(std::size_t servers, double w,
+double simulated_msgs_per_request(Reporter& rep, std::size_t servers, double w,
                                   std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = workload::Protocol::kDqvl;
   p.topo.num_servers = servers;
-  p.iqs_size = 5;
+  p.iqs = workload::QuorumSpec::majority(5);
   p.write_ratio = w;
   p.requests_per_client = 250;
   p.seed = seed;
   p.choose_object = [](Rng&) { return ObjectId(7); };
-  const auto r = workload::run_experiment(p);
+  const auto r = rep.run(p);
   return r.messages_per_request;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter rep("fig9b", argc, argv);
   header("Figure 9(b)",
          "messages per request vs replica count (IQS fixed at 5)");
   std::printf("analytical model, w = 0.25 worst-case interleaving:\n");
@@ -47,7 +48,8 @@ int main() {
   std::printf("\nsimulator cross-check (w = 0.25, one hot object):\n");
   row({"replicas", "DQVL(iqs=5)"});
   for (std::size_t n : {5u, 9u, 13u, 17u}) {
-    row({std::to_string(n), fmt(simulated_msgs_per_request(n, w, 61), 1)});
+    row({std::to_string(n), fmt(simulated_msgs_per_request(rep, n, w, 61),
+                                1)});
   }
   std::printf("\npaper: with a moderate fixed IQS, DQVL overhead is "
               "comparable to majority\nas the OQS grows\n");

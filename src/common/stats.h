@@ -4,16 +4,25 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace dq {
 
 // Accumulates a stream of samples and answers mean / percentile / extrema
 // queries.  Keeps all samples (experiments are small: <10^6 requests).
+//
+// Percentile queries sort lazily: the first query after an add() sorts the
+// sample vector once and subsequent queries reuse it, so a reporting pass
+// that asks for p50/p95/p99/... pays for one sort, not one per query.
 class Summary {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
 
@@ -34,17 +43,20 @@ class Summary {
     return *std::max_element(samples_.begin(), samples_.end());
   }
 
-  // Nearest-rank percentile, q in [0, 100].
+  // Nearest-rank percentile (linear interpolation), q in [0, 100].
   [[nodiscard]] double percentile(double q) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+    ensure_sorted();
+    const double rank = (q / 100.0) * static_cast<double>(samples_.size() - 1);
     const auto lo = static_cast<std::size_t>(std::floor(rank));
     const auto hi = static_cast<std::size_t>(std::ceil(rank));
     const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
   }
+
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
 
   [[nodiscard]] double stddev() const {
     if (samples_.size() < 2) return 0.0;
@@ -54,10 +66,30 @@ class Summary {
     return std::sqrt(s / static_cast<double>(samples_.size() - 1));
   }
 
-  void clear() { samples_.clear(); }
+  // {"count":N,"mean":...,"min":...,"max":...,"p50":...,"p95":...,"p99":...}
+  [[nodiscard]] std::string to_json() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%zu,\"mean\":%.6g,\"min\":%.6g,\"max\":%.6g,"
+                  "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}",
+                  count(), mean(), min(), max(), p50(), p95(), p99());
+    return buf;
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = true;
+  }
 
  private:
-  std::vector<double> samples_;
+  void ensure_sorted() const {
+    if (sorted_) return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;  // vacuously sorted while empty
 };
 
 // Counter map keyed by small enums; see MessageStats in sim/network.h for the

@@ -23,36 +23,57 @@ IqsServer::IqsServer(sim::World& world, NodeId self,
       engine_(world_, self_) {
   DQ_INVARIANT(cfg_->iqs && cfg_->oqs, "DqConfig must name both systems");
   DQ_INVARIANT(cfg_->iqs->is_member(self_), "IqsServer on a non-member node");
+  auto& m = world_.metrics();
+  m_load_ = &m.counter(obs::node_metric("iqs.load", self_.value()));
+  m_writes_ = &m.counter("iqs.writes");
+  m_lc_reads_ = &m.counter("iqs.lc_reads");
+  m_renewals_ = &m.counter("iqs.renewals");
+  m_lease_grants_ = &m.counter("iqs.lease.grants");
+  m_lease_expiries_ = &m.counter("iqs.lease.expiries");
+  m_epoch_bumps_ = &m.counter("iqs.epoch_bumps");
+  m_suppressed_ = &m.counter("iqs.writes_suppressed");
+  m_delayed_depth_ = &m.gauge("iqs.delayed_queue.depth");
+  m_h_suppress_ = &m.histogram("dqvl.write.suppress_ms");
+  m_h_invalidate_ = &m.histogram("dqvl.write.invalidate_ms");
+  m_h_lease_wait_ = &m.histogram("dqvl.write.lease_wait_ms");
 }
 
 bool IqsServer::on_message(const sim::Envelope& env) {
   // Client-facing requests pay the constant per-request processing delay;
   // internal renewal/invalidation traffic does not (see sim/processing.h).
   if (std::get_if<msg::DqLcRead>(&env.body) != nullptr) {
+    m_load_->inc();
     sim::defer_processing(world_, self_, [this, env] {
       handle_lc_read(env, std::get<msg::DqLcRead>(env.body));
     });
     return true;
   }
   if (std::get_if<msg::DqWrite>(&env.body) != nullptr) {
+    m_load_->inc();
     sim::defer_processing(world_, self_, [this, env] {
       handle_write(env, std::get<msg::DqWrite>(env.body));
     });
     return true;
   }
   if (const auto* m = std::get_if<msg::DqInvalAck>(&env.body)) {
+    m_load_->inc();
     handle_inval_ack(env, *m);
     return true;
   }
   if (const auto* m = std::get_if<msg::DqVolRenew>(&env.body)) {
+    m_load_->inc();
+    m_renewals_->inc();
     handle_vol_renew(env, *m);
     return true;
   }
   if (const auto* m = std::get_if<msg::DqVolRenewAck>(&env.body)) {
+    m_load_->inc();
     handle_vol_renew_ack(env, *m);
     return true;
   }
   if (const auto* m = std::get_if<msg::DqVolRenewBatch>(&env.body)) {
+    m_load_->inc();
+    m_renewals_->inc(m->renewals.size());
     msg::DqVolRenewBatchReply out;
     out.replies.reserve(m->renewals.size());
     for (const msg::DqVolRenew& r : m->renewals) {
@@ -62,20 +83,27 @@ bool IqsServer::on_message(const sim::Envelope& env) {
     return true;
   }
   if (const auto* m = std::get_if<msg::DqVolRenewAckBatch>(&env.body)) {
+    m_load_->inc();
     for (const msg::DqVolRenewAck& a : m->acks) {
       handle_vol_renew_ack(env, a);
     }
     return true;
   }
   if (const auto* m = std::get_if<msg::DqObjRenew>(&env.body)) {
+    m_load_->inc();
+    m_renewals_->inc();
     handle_obj_renew(env, *m);
     return true;
   }
   if (const auto* m = std::get_if<msg::DqVolObjRenew>(&env.body)) {
+    m_load_->inc();
+    m_renewals_->inc();
     handle_vol_obj_renew(env, *m);
     return true;
   }
   if (const auto* m = std::get_if<msg::DqVolFetch>(&env.body)) {
+    m_load_->inc();
+    m_renewals_->inc();
     handle_vol_fetch(env, *m);
     return true;
   }
@@ -100,10 +128,12 @@ void IqsServer::reply(const sim::Envelope& to, msg::Payload body) {
 
 void IqsServer::handle_lc_read(const sim::Envelope& env,
                                const msg::DqLcRead& m) {
+  m_lc_reads_->inc();
   reply(env, msg::DqLcReadReply{m.object, logical_clock_});
 }
 
 void IqsServer::handle_write(const sim::Envelope& env, const msg::DqWrite& m) {
+  m_writes_->inc();
   auto& os = obj(m.object);
   if (m.clock > os.last_write) {
     os.last_write = m.clock;
@@ -114,6 +144,8 @@ void IqsServer::handle_write(const sim::Envelope& env, const msg::DqWrite& m) {
   auto& en = ensures_[m.object];
   if (m.clock <= en.ensured) {
     // An OQS write quorum is already unable to read anything older.
+    m_suppressed_->inc();
+    m_h_suppress_->observe(0.0);
     reply(env, msg::DqWriteAck{m.object, m.clock});
     return;
   }
@@ -124,6 +156,13 @@ void IqsServer::handle_write(const sim::Envelope& env, const msg::DqWrite& m) {
       });
   if (!duplicate) en.waiters.push_back({env.src, env.rpc_id, m.clock});
   en.target = std::max(en.target, os.last_write);
+  if (en.call == 0) {
+    // Fresh episode: the phase breakdown measures from the first blocked
+    // write until the whole batch is ensured.
+    en.started = world_.now();
+    en.sent_invals = false;
+    en.lease_expiry_involved = false;
+  }
   start_or_extend_ensure(m.object);
 }
 
@@ -166,8 +205,10 @@ bool IqsServer::node_safe(NodeId j, ObjectId o, LogicalClock lc) {
   const VolumeId v = cfg_->volumes.volume_of(o);
   if (!lease_valid(v, j)) {
     auto& ls = lease(v, j);
+    const std::size_t before = ls.delayed.size();
     auto& slot = ls.delayed[o];
     slot = std::max(slot, os.last_write);
+    if (ls.delayed.size() != before) m_delayed_depth_->add(+1);
     if (world_.tracing()) {
       world_.trace(self_, "lease",
                    "delayed inval for n" + std::to_string(j.value()) +
@@ -213,6 +254,7 @@ void IqsServer::start_or_extend_ensure(ObjectId o) {
       [this, o](NodeId j) -> std::optional<msg::Payload> {
         auto& en2 = ensures_[o];
         if (node_safe(j, o, en2.target)) return std::nullopt;
+        en2.sent_invals = true;
         return msg::DqInval{o, obj(o).last_write};
       },
       /*on_reply=*/
@@ -255,6 +297,23 @@ void IqsServer::finish_ensure(ObjectId o) {
   Ensure& en = it->second;
   en.call = 0;
   en.ensured = std::max(en.ensured, en.target);
+  // Fold the episode into the write-phase breakdown: suppressed (no
+  // invalidation needed), invalidation round trips, or blocked until a
+  // volume lease expired.
+  if (en.started != 0 || !en.waiters.empty()) {
+    const double elapsed_ms = sim::to_ms(world_.now() - en.started);
+    if (!en.sent_invals) {
+      m_suppressed_->inc();
+      m_h_suppress_->observe(elapsed_ms);
+    } else if (en.lease_expiry_involved) {
+      m_h_lease_wait_->observe(elapsed_ms);
+    } else {
+      m_h_invalidate_->observe(elapsed_ms);
+    }
+  }
+  en.started = 0;
+  en.sent_invals = false;
+  en.lease_expiry_involved = false;
   std::vector<Waiter> ready;
   for (const Waiter& w : en.waiters) {
     DQ_INVARIANT(w.clock <= en.ensured,
@@ -279,9 +338,13 @@ void IqsServer::poke_ensure(ObjectId o) {
 
 void IqsServer::poke_volume(VolumeId v) {
   // A lease on v expired: writes blocked on that lease may now complete.
+  m_lease_expiries_->inc();
   std::vector<ObjectId> affected;
-  for (const auto& [o, en] : ensures_) {
-    if (en.call != 0 && cfg_->volumes.volume_of(o) == v) affected.push_back(o);
+  for (auto& [o, en] : ensures_) {
+    if (en.call != 0 && cfg_->volumes.volume_of(o) == v) {
+      en.lease_expiry_involved = true;
+      affected.push_back(o);
+    }
   }
   for (ObjectId o : affected) poke_ensure(o);
 }
@@ -306,6 +369,7 @@ bool IqsServer::lease_valid(VolumeId v, NodeId j) const {
 
 msg::DqVolRenewReply IqsServer::grant_lease(NodeId j, VolumeId v,
                                             sim::Time requestor_time) {
+  m_lease_grants_->inc();
   auto& ls = lease(v, j);
   msg::DqVolRenewReply r;
   r.volume = v;
@@ -339,6 +403,8 @@ void IqsServer::maybe_gc_epoch(VolumeId v, NodeId j) {
   // object leases from this node die at its next volume renewal.
   if (ls.expires > local_now()) return;
   ++ls.epoch;
+  m_epoch_bumps_->inc();
+  m_delayed_depth_->add(-static_cast<std::int64_t>(ls.delayed.size()));
   ls.delayed.clear();
   if (world_.tracing()) {
     world_.trace(self_, "lease",
@@ -367,6 +433,7 @@ void IqsServer::handle_vol_renew_ack(const sim::Envelope& env,
       slot = std::max(slot, d->second);
       confirmed.push_back(d->first);
       d = ls.delayed.erase(d);
+      m_delayed_depth_->add(-1);
     } else {
       ++d;
     }

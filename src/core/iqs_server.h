@@ -98,6 +98,12 @@ class IqsServer {
     LogicalClock call_target;     // target the running call was started for
     LogicalClock ensured;         // highest clock already ensured
     std::vector<Waiter> waiters;
+    // Phase accounting for the write-latency breakdown: when the episode's
+    // first blocked write arrived, whether invalidations went out, and
+    // whether a lease expiry was needed to unblock it.
+    sim::Time started = 0;
+    bool sent_invals = false;
+    bool lease_expiry_involved = false;
   };
 
   // --- message handlers ----------------------------------------------------
@@ -146,6 +152,20 @@ class IqsServer {
   std::unordered_map<ObjectId, ObjState> objects_;
   std::map<std::pair<VolumeId, NodeId>, LeaseState> leases_;
   std::unordered_map<ObjectId, Ensure> ensures_;
+
+  // Instruments (registered once in the constructor; see obs/metrics.h).
+  obs::Counter* m_load_;          // iqs.load.n<id>: requests this node handled
+  obs::Counter* m_writes_;
+  obs::Counter* m_lc_reads_;
+  obs::Counter* m_renewals_;
+  obs::Counter* m_lease_grants_;
+  obs::Counter* m_lease_expiries_;
+  obs::Counter* m_epoch_bumps_;
+  obs::Counter* m_suppressed_;
+  obs::Gauge* m_delayed_depth_;
+  obs::Histogram* m_h_suppress_;
+  obs::Histogram* m_h_invalidate_;
+  obs::Histogram* m_h_lease_wait_;
 };
 
 }  // namespace dq::core

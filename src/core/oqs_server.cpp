@@ -11,7 +11,12 @@ namespace dq::core {
 OqsServer::OqsServer(sim::World& world, NodeId self,
                      std::shared_ptr<const DqConfig> config)
     : world_(world), self_(self), cfg_(std::move(config)),
-      engine_(world_, self_) {
+      engine_(world_, self_),
+      m_load_(&world_.metrics().counter(obs::node_metric("oqs.load", self_.value()))),
+      m_hits_(&world_.metrics().counter("oqs.read.hits")),
+      m_misses_(&world_.metrics().counter("oqs.read.misses")),
+      m_invals_(&world_.metrics().counter("oqs.invalidations")),
+      m_h_miss_(&world_.metrics().histogram("dqvl.read.miss_ms")) {
   DQ_INVARIANT(cfg_->iqs && cfg_->oqs, "DqConfig must name both systems");
   DQ_INVARIANT(cfg_->oqs->is_member(self_), "OqsServer on a non-member node");
 }
@@ -122,12 +127,14 @@ bool OqsServer::condition_c(ObjectId o) const {
 // ---------------------------------------------------------------------------
 
 void OqsServer::handle_read(const sim::Envelope& env, const msg::DqRead& m) {
-  PendingRead pr{env.src, env.rpc_id, m.object, 0};
+  m_load_->inc();
+  PendingRead pr{env.src, env.rpc_id, m.object, 0, world_.now()};
   if (condition_c(m.object)) {
     if (world_.tracing()) {
       world_.trace(self_, "read",
                    "hit obj " + std::to_string(m.object.value()));
     }
+    m_hits_->inc();
     reply_to_read(pr);  // read hit: answer from cache, no IQS traffic
     return;
   }
@@ -135,6 +142,7 @@ void OqsServer::handle_read(const sim::Envelope& env, const msg::DqRead& m) {
     world_.trace(self_, "read",
                  "miss obj " + std::to_string(m.object.value()));
   }
+  m_misses_->inc();
   const std::uint64_t key = next_pending_++;
   pending_.emplace(key, pr);
   start_read_machine(key);
@@ -196,6 +204,7 @@ void OqsServer::finish_read(std::uint64_t key, bool ok) {
   PendingRead pr = it->second;
   pending_.erase(it);
   if (!ok) return;  // deadline exceeded; the service client's QRPC handles it
+  m_h_miss_->observe(sim::to_ms(world_.now() - pr.started));
   reply_to_read(pr);
   if (cfg_->proactive_volume_renewal) {
     maybe_schedule_proactive_renewal(cfg_->volumes.volume_of(pr.object));
@@ -279,6 +288,8 @@ void OqsServer::apply_invalidation(NodeId i, ObjectId o, LogicalClock lc) {
 }
 
 void OqsServer::handle_inval(const sim::Envelope& env, const msg::DqInval& m) {
+  m_load_->inc();
+  m_invals_->inc();
   apply_invalidation(env.src, m.object, m.clock);
   world_.reply(self_, env, msg::DqInvalAck{m.object, m.clock});
   poke_pending();

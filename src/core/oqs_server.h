@@ -70,6 +70,7 @@ class OqsServer {
     RequestId rpc_id;
     ObjectId object;
     rpc::CallId call = 0;
+    sim::Time started = 0;  // when the miss began (for dqvl.read.miss_ms)
   };
 
   // --- handlers -------------------------------------------------------------
@@ -109,6 +110,13 @@ class OqsServer {
   std::set<VolumeId> proactive_active_;
   // Lazily built "contact every IQS member" system for prefetch.
   std::shared_ptr<const quorum::QuorumSystem> fetch_all_;
+
+  // Instruments (registered once in the constructor; see obs/metrics.h).
+  obs::Counter* m_load_;          // oqs.load.n<id>
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_invals_;
+  obs::Histogram* m_h_miss_;
 };
 
 }  // namespace dq::core

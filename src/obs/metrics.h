@@ -1,0 +1,147 @@
+// Deterministic, simulation-safe metrics: named counters, gauges, and
+// fixed-bucket log-scale histograms.
+//
+// Design constraints (DESIGN.md "Observability"):
+//   * No wall clock.  Every recorded duration is virtual (sim::Time math done
+//     by the caller); the registry itself never reads any clock.
+//   * No perturbation.  Recording a metric schedules no events, draws no
+//     randomness, and sends no messages, so enabling or inspecting metrics
+//     cannot change a simulation schedule (determinism_test relies on this).
+//   * No allocation on the hot path.  Actors look up their instruments once
+//     (by name, at registration/construction time) and then update plain
+//     integers.  Instrument addresses are stable for the registry's lifetime.
+//
+// One MetricsRegistry lives in each sim::World; snapshot() freezes every
+// instrument into a MetricsSnapshot that the experiment harness folds into
+// its ExperimentResult and renders as JSON (workload/report.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dq::obs {
+
+// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Instantaneous level (queue depth, in-flight calls) with a high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t delta) { set(value_ + delta); }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+// Frozen histogram state; also the merge/quantile math shared by live
+// histograms and snapshots.
+struct HistogramData {
+  // Fixed log-scale buckets: bucket i counts observations v (in ms) with
+  // upper(i-1) < v <= upper(i), where upper(i) = 0.001 * 2^i ms.  Bucket 0
+  // therefore holds everything at or below one microsecond (including the
+  // zero-duration "suppressed write" fast path) and the last bucket is
+  // unbounded.  48 buckets reach ~39 simulated hours.
+  static constexpr std::size_t kBuckets = 48;
+  static constexpr double kFirstUpperMs = 0.001;  // 1 us
+
+  [[nodiscard]] static double bucket_upper_ms(std::size_t i);
+  [[nodiscard]] static std::size_t bucket_index(double v_ms);
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  // size kBuckets once observed/merged
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  // Bucket-interpolated quantile estimate, q in [0, 1].  Exact for the
+  // extremes, within one bucket (a factor of two) elsewhere.
+  [[nodiscard]] double quantile(double q) const;
+  void merge(const HistogramData& other);
+};
+
+// Live histogram of durations in milliseconds.
+class Histogram {
+ public:
+  Histogram() { data_.buckets.assign(HistogramData::kBuckets, 0); }
+
+  void observe(double v_ms);
+  [[nodiscard]] const HistogramData& data() const { return data_; }
+
+ private:
+  HistogramData data_;
+};
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+// Value-type freeze of a registry: what ExperimentResult carries and the JSON
+// report renders.  merge() combines snapshots from independent worlds (e.g. a
+// bench aggregating over seeds): counters and histograms add, gauges keep
+// the maximum (levels from different runs do not sum meaningfully).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] const HistogramData* histogram(const std::string& name) const;
+  // All counters whose name starts with `prefix`, keyed by the remainder
+  // (e.g. prefix "iqs.load." yields {"n0": 12, "n3": 40, ...}).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters_with_prefix(
+      const std::string& prefix) const;
+  void merge(const MetricsSnapshot& other);
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name.  References stay valid for the registry's
+  // lifetime; call once at setup, keep the pointer, update it on the hot
+  // path.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void reset();  // zero every instrument (registrations survive)
+
+ private:
+  // node_maps keep instrument addresses stable across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Canonical per-node instrument name: "iqs.load" + n3 -> "iqs.load.n3".
+[[nodiscard]] std::string node_metric(const std::string& base,
+                                      std::uint32_t node);
+
+}  // namespace dq::obs

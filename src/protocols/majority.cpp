@@ -19,13 +19,16 @@ bool MajorityServer::on_message(const sim::Envelope& env) {
 
 void MajorityServer::handle(const sim::Envelope& env) {
   if (const auto* m = std::get_if<msg::MajRead>(&env.body)) {
+    m_reads_->inc();
     const VersionedValue vv = store_.get(m->object);
     world_.reply(self_, env,
                  msg::MajReadReply{m->object, vv.value, vv.clock});
   } else if (const auto* m = std::get_if<msg::MajLcRead>(&env.body)) {
+    m_lc_reads_->inc();
     world_.reply(self_, env,
                  msg::MajLcReadReply{m->object, store_.clock_of(m->object)});
   } else if (const auto* m = std::get_if<msg::MajWrite>(&env.body)) {
+    m_writes_->inc();
     store_.apply(m->object, m->value, m->clock);
     world_.reply(self_, env,
                  msg::MajWriteAck{m->object, m->clock});

@@ -19,7 +19,10 @@ namespace dq::protocols {
 class MajorityServer {
  public:
   MajorityServer(sim::World& world, NodeId self)
-      : world_(world), self_(self) {}
+      : world_(world), self_(self),
+        m_reads_(&world.metrics().counter("proto.majority.reads")),
+        m_lc_reads_(&world.metrics().counter("proto.majority.lc_reads")),
+        m_writes_(&world.metrics().counter("proto.majority.writes")) {}
 
   bool on_message(const sim::Envelope& env);
 
@@ -31,6 +34,9 @@ class MajorityServer {
   sim::World& world_;
   NodeId self_;
   store::ObjectStore store_;
+  obs::Counter* m_reads_;
+  obs::Counter* m_lc_reads_;
+  obs::Counter* m_writes_;
 };
 
 class MajorityClient final : public ServiceClient {

@@ -11,7 +11,10 @@ namespace dq::protocols {
 PbServer::PbServer(sim::World& world, NodeId self,
                    std::shared_ptr<const PbConfig> cfg)
     : world_(world), self_(self), cfg_(std::move(cfg)),
-      engine_(world_, self_) {
+      engine_(world_, self_),
+      m_reads_(&world_.metrics().counter("proto.pb.reads")),
+      m_writes_(&world_.metrics().counter("proto.pb.writes")),
+      m_syncs_(&world_.metrics().counter("proto.pb.syncs")) {
   std::vector<NodeId> backups;
   for (NodeId r : cfg_->replicas) {
     if (r != cfg_->primary) backups.push_back(r);
@@ -45,10 +48,12 @@ bool PbServer::on_message(const sim::Envelope& env) {
 
 void PbServer::handle(const sim::Envelope& env) {
   if (const auto* m = std::get_if<msg::PbRead>(&env.body)) {
+    m_reads_->inc();
     const VersionedValue vv = store_.get(m->object);
     world_.reply(self_, env,
                  msg::PbReadReply{m->object, vv.value, vv.clock});
   } else if (const auto* m = std::get_if<msg::PbWrite>(&env.body)) {
+    m_writes_->inc();
     // The primary orders writes; clients carry no clock.  Retransmissions
     // (same client + rpc id) must not be applied twice.
     const auto key = std::make_pair(env.src, env.rpc_id);
@@ -61,6 +66,7 @@ void PbServer::handle(const sim::Envelope& env) {
     store_.apply(m->object, m->value, lc);
     propagate(m->object, m->value, lc, env);
   } else if (const auto* m = std::get_if<msg::PbSync>(&env.body)) {
+    m_syncs_->inc();
     store_.apply(m->object, m->value, m->clock);
     world_.reply(self_, env,
                  msg::PbSyncAck{m->object, m->clock});

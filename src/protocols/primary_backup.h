@@ -52,6 +52,9 @@ class PbServer {
   std::shared_ptr<const quorum::QuorumSystem> backups_;  // write = all backups
   // Write dedupe: retransmitted client writes are re-acked, not re-applied.
   std::map<std::pair<NodeId, RequestId>, LogicalClock> applied_;
+  obs::Counter* m_reads_;
+  obs::Counter* m_writes_;
+  obs::Counter* m_syncs_;
 };
 
 class PbClient final : public ServiceClient {

@@ -19,10 +19,12 @@ bool RowaServer::on_message(const sim::Envelope& env) {
 
 void RowaServer::handle(const sim::Envelope& env) {
   if (const auto* m = std::get_if<msg::RowaRead>(&env.body)) {
+    m_reads_->inc();
     const VersionedValue vv = store_.get(m->object);
     world_.reply(self_, env,
                  msg::RowaReadReply{m->object, vv.value, vv.clock});
   } else if (const auto* m = std::get_if<msg::RowaWrite>(&env.body)) {
+    m_writes_->inc();
     store_.apply(m->object, m->value, m->clock);
     world_.reply(self_, env,
                  msg::RowaWriteAck{m->object, m->clock});

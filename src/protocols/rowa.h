@@ -23,7 +23,10 @@ namespace dq::protocols {
 
 class RowaServer {
  public:
-  RowaServer(sim::World& world, NodeId self) : world_(world), self_(self) {}
+  RowaServer(sim::World& world, NodeId self)
+      : world_(world), self_(self),
+        m_reads_(&world.metrics().counter("proto.rowa.reads")),
+        m_writes_(&world.metrics().counter("proto.rowa.writes")) {}
 
   bool on_message(const sim::Envelope& env);
   [[nodiscard]] const store::ObjectStore& store() const { return store_; }
@@ -34,6 +37,8 @@ class RowaServer {
   sim::World& world_;
   NodeId self_;
   store::ObjectStore store_;
+  obs::Counter* m_reads_;
+  obs::Counter* m_writes_;
 };
 
 class RowaClient final : public ServiceClient {

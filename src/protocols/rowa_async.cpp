@@ -10,7 +10,11 @@ namespace dq::protocols {
 
 RowaAsyncServer::RowaAsyncServer(sim::World& world, NodeId self,
                                  std::shared_ptr<const RowaAsyncConfig> cfg)
-    : world_(world), self_(self), cfg_(std::move(cfg)) {}
+    : world_(world), self_(self), cfg_(std::move(cfg)),
+      m_reads_(&world_.metrics().counter("proto.rowa_async.reads")),
+      m_writes_(&world_.metrics().counter("proto.rowa_async.writes")),
+      m_gossip_(&world_.metrics().counter("proto.rowa_async.gossip")),
+      m_ae_rounds_(&world_.metrics().counter("proto.rowa_async.ae_rounds")) {}
 
 void RowaAsyncServer::start_anti_entropy() {
   world_.set_timer(self_, cfg_->anti_entropy_interval, [this] {
@@ -26,6 +30,7 @@ void RowaAsyncServer::anti_entropy_round() {
     if (r != self_) peers.push_back(r);
   }
   if (peers.empty()) return;
+  m_ae_rounds_->inc();
   const NodeId peer = peers[world_.rng().below(peers.size())];
   world_.send(self_, peer, RequestId(0), msg::AeDigest{store_.digest()});
 }
@@ -47,10 +52,12 @@ bool RowaAsyncServer::on_message(const sim::Envelope& env) {
 
 void RowaAsyncServer::handle(const sim::Envelope& env) {
   if (const auto* m = std::get_if<msg::AsyncRead>(&env.body)) {
+    m_reads_->inc();
     const VersionedValue vv = store_.get(m->object);
     world_.reply(self_, env,
                  msg::AsyncReadReply{m->object, vv.value, vv.clock});
   } else if (const auto* m = std::get_if<msg::AsyncWrite>(&env.body)) {
+    m_writes_->inc();
     // Accept locally, ack, push to peers in the background.
     const std::uint64_t counter =
         std::max(write_seq_, store_.clock_of(m->object).counter) + 1;
@@ -65,6 +72,7 @@ void RowaAsyncServer::handle(const sim::Envelope& env) {
       }
     }
   } else if (const auto* m = std::get_if<msg::GossipUpdate>(&env.body)) {
+    m_gossip_->inc();
     store_.apply(m->object, m->value, m->clock);
   } else if (const auto* m = std::get_if<msg::AeDigest>(&env.body)) {
     // Send back everything newer than (or absent from) the digest.

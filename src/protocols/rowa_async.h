@@ -47,6 +47,10 @@ class RowaAsyncServer {
   std::shared_ptr<const RowaAsyncConfig> cfg_;
   store::ObjectStore store_;
   std::uint64_t write_seq_ = 0;
+  obs::Counter* m_reads_;
+  obs::Counter* m_writes_;
+  obs::Counter* m_gossip_;
+  obs::Counter* m_ae_rounds_;
 };
 
 // Client: single-RPC read/write against one replica (the colocated one when

@@ -41,6 +41,8 @@ CallId QrpcEngine::call_until(const quorum::QuorumSystem& system,
   }
   by_rpc_id_[c.rpc_id.value()] = id;
   calls_.emplace(id, std::move(c));
+  m_calls_->inc();
+  m_inflight_->add(+1);
 
   // The condition may already hold (e.g. every OQS copy already invalid).
   if (calls_.at(id).done()) {
@@ -56,6 +58,7 @@ void QrpcEngine::transmit_round(CallId id) {
   auto it = calls_.find(id);
   if (it == calls_.end()) return;
   Call& c = it->second;
+  m_rounds_->inc();
   // Fresh random quorum each round, local node preferred (section 2).
   const auto targets = c.system->pick(c.kind, world_.rng(), self_);
   for (NodeId t : targets) {
@@ -91,6 +94,7 @@ void QrpcEngine::arm_retry(CallId id) {
         static_cast<sim::Duration>(static_cast<double>(c2.cur_timeout) *
                                    c2.opts.backoff),
         c2.opts.max_timeout);
+    m_retries_->inc();
     transmit_round(id);
     arm_retry(id);
   });
@@ -131,6 +135,8 @@ void QrpcEngine::finish(CallId id, bool success) {
   c.retry_timer.cancel();
   calls_.erase(it);
   by_rpc_id_.erase(c.rpc_id.value());
+  m_inflight_->add(-1);
+  if (!success) m_timeouts_->inc();
   if (c.complete_cb) c.complete_cb(success);
 }
 
@@ -140,10 +146,12 @@ void QrpcEngine::cancel(CallId id) {
   it->second.retry_timer.cancel();
   by_rpc_id_.erase(it->second.rpc_id.value());
   calls_.erase(it);
+  m_inflight_->add(-1);
 }
 
 void QrpcEngine::cancel_all() {
   for (auto& [id, c] : calls_) c.retry_timer.cancel();
+  m_inflight_->add(-static_cast<std::int64_t>(calls_.size()));
   calls_.clear();
   by_rpc_id_.clear();
 }

@@ -61,7 +61,12 @@ class QrpcEngine {
   using OnComplete = std::function<void(bool success)>;
 
   QrpcEngine(sim::World& world, NodeId self)
-      : world_(world), self_(self) {}
+      : world_(world), self_(self),
+        m_calls_(&world.metrics().counter("qrpc.calls")),
+        m_rounds_(&world.metrics().counter("qrpc.rounds")),
+        m_retries_(&world.metrics().counter("qrpc.retries")),
+        m_timeouts_(&world.metrics().counter("qrpc.timeouts")),
+        m_inflight_(&world.metrics().gauge("qrpc.inflight")) {}
 
   ~QrpcEngine() { cancel_all(); }
 
@@ -123,6 +128,13 @@ class QrpcEngine {
   CallId next_call_ = 1;
   std::map<CallId, Call> calls_;
   std::map<std::uint64_t, CallId> by_rpc_id_;
+  // Engine-shared instruments (one set of names across all nodes; the
+  // registry hands every engine the same underlying counters).
+  obs::Counter* m_calls_;
+  obs::Counter* m_rounds_;
+  obs::Counter* m_retries_;
+  obs::Counter* m_timeouts_;
+  obs::Gauge* m_inflight_;
 };
 
 }  // namespace dq::rpc

@@ -39,18 +39,41 @@ void Topology::set_home(NodeId client_id, NodeId server_id) {
   home_.at(client_id.value() - p_.num_servers) = server_id;
 }
 
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::kLoopback: return "loopback";
+    case LinkClass::kClientHome: return "client_home";
+    case LinkClass::kClientRemote: return "client_remote";
+    case LinkClass::kServerServer: return "server_server";
+  }
+  return "?";
+}
+
+LinkClass Topology::link_class(NodeId src, NodeId dst) const {
+  if (src == dst) return LinkClass::kLoopback;
+  if (is_server(src) && is_server(dst)) return LinkClass::kServerServer;
+  // Exactly one endpoint is a client (clients never talk to each other).
+  const NodeId c = is_client(src) ? src : dst;
+  const NodeId s = is_client(src) ? dst : src;
+  DQ_INVARIANT(is_server(s), "client-to-client traffic is not modelled");
+  return home_of(c) == s ? LinkClass::kClientHome : LinkClass::kClientRemote;
+}
+
 Duration Topology::one_way_delay(NodeId src, NodeId dst, Rng& rng) const {
   Duration base = 0;
-  if (src == dst) {
-    base = 0;  // loopback: a node talking to itself costs nothing on the wire
-  } else if (is_server(src) && is_server(dst)) {
-    base = p_.server_to_server;
-  } else {
-    // Exactly one endpoint is a client (clients never talk to each other).
-    const NodeId c = is_client(src) ? src : dst;
-    const NodeId s = is_client(src) ? dst : src;
-    DQ_INVARIANT(is_server(s), "client-to-client traffic is not modelled");
-    base = (home_of(c) == s) ? p_.client_to_home : p_.client_to_remote;
+  switch (link_class(src, dst)) {
+    case LinkClass::kLoopback:
+      base = 0;  // a node talking to itself costs nothing on the wire
+      break;
+    case LinkClass::kServerServer:
+      base = p_.server_to_server;
+      break;
+    case LinkClass::kClientHome:
+      base = p_.client_to_home;
+      break;
+    case LinkClass::kClientRemote:
+      base = p_.client_to_remote;
+      break;
   }
   if (p_.jitter > 0.0 && base > 0) {
     base += static_cast<Duration>(static_cast<double>(base) * p_.jitter *
@@ -59,11 +82,13 @@ Duration Topology::one_way_delay(NodeId src, NodeId dst, Rng& rng) const {
   return base;
 }
 
-void MessageStats::count(const msg::Payload& p) {
+std::uint64_t MessageStats::count(const msg::Payload& p) {
   ++total_;
-  bytes_ += msg::approximate_size(p);
+  const std::uint64_t size = msg::approximate_size(p);
+  bytes_ += size;
   if (msg::is_server_to_server(p)) ++s2s_;
   ++by_type_[msg::payload_name(p)];
+  return size;
 }
 
 std::uint64_t MessageStats::by_type(const std::string& name) const {

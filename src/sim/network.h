@@ -34,6 +34,16 @@ struct Envelope {
   bool is_reply = false;
 };
 
+// The kind of link a (src, dst) pair crosses.  Delay assignment and the
+// per-link metrics counters share this classification.
+enum class LinkClass : std::uint8_t {
+  kLoopback,      // a node talking to itself (free)
+  kClientHome,    // application client <-> its closest edge server
+  kClientRemote,  // application client <-> any other edge server
+  kServerServer,  // edge server <-> edge server (WAN)
+};
+[[nodiscard]] const char* link_class_name(LinkClass c);
+
 // Static description of who is where.  Node ids are dense: servers occupy
 // [0, num_servers) and application clients [num_servers, num_servers +
 // num_clients).  Each client has a home (closest) server.
@@ -85,6 +95,7 @@ class Topology {
   [[nodiscard]] NodeId home_of(NodeId c) const;
   void set_home(NodeId client, NodeId server);
 
+  [[nodiscard]] LinkClass link_class(NodeId src, NodeId dst) const;
   [[nodiscard]] Duration one_way_delay(NodeId src, NodeId dst, Rng& rng) const;
   [[nodiscard]] Duration processing_delay() const {
     return p_.processing_delay;
@@ -136,7 +147,9 @@ class FaultPlane {
 // are subsequently lost -- they were sent).
 class MessageStats {
  public:
-  void count(const msg::Payload& p);
+  // Returns the approximate wire size of the counted message, so callers
+  // feeding other accounting (the metrics registry) don't size it twice.
+  std::uint64_t count(const msg::Payload& p);
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }

@@ -15,7 +15,19 @@ World::World(Topology topology, std::uint64_t seed)
       crashed_(topo_.num_nodes(), false),
       incarnation_(topo_.num_nodes(), 0),
       sent_by_(topo_.num_nodes(), 0),
-      received_by_(topo_.num_nodes(), 0) {}
+      received_by_(topo_.num_nodes(), 0) {
+  m_sent_ = &metrics_.counter("net.sent");
+  m_bytes_ = &metrics_.counter("net.bytes");
+  m_delivered_ = &metrics_.counter("net.delivered");
+  m_dropped_ = &metrics_.counter("net.dropped");
+  for (LinkClass lc : {LinkClass::kLoopback, LinkClass::kClientHome,
+                       LinkClass::kClientRemote, LinkClass::kServerServer}) {
+    const auto i = static_cast<std::size_t>(lc);
+    const std::string suffix = link_class_name(lc);
+    m_link_msgs_[i] = &metrics_.counter("net.msgs." + suffix);
+    m_link_bytes_[i] = &metrics_.counter("net.bytes." + suffix);
+  }
+}
 
 void World::attach(NodeId node, Actor& actor) {
   DQ_INVARIANT(node.value() < actors_.size(), "node id out of range");
@@ -35,8 +47,13 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
   if (!faults_.is_up(src) || crashed_.at(src.value())) {
     return;  // a dead or disconnected node cannot put anything on the wire
   }
-  stats_.count(body);
+  const std::uint64_t size = stats_.count(body);
   ++sent_by_.at(src.value());
+  m_sent_->inc();
+  m_bytes_->inc(size);
+  const auto link = static_cast<std::size_t>(topo_.link_class(src, dst));
+  m_link_msgs_[link]->inc();
+  m_link_bytes_[link]->inc(size);
   if (tracer_.enabled()) {
     tracer_.emit(now(), src, "net",
                  std::string(is_reply ? "reply " : "send ") +
@@ -45,6 +62,7 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
   }
   if (!faults_.reachable(src, dst)) {
     ++dropped_;
+    m_dropped_->inc();
     return;
   }
   const int copies = faults_.duplication_probability() > 0.0 &&
@@ -55,6 +73,7 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
     if (faults_.loss_probability() > 0.0 &&
         rng_.chance(faults_.loss_probability())) {
       ++dropped_;
+      m_dropped_->inc();
       continue;
     }
     const Duration delay = topo_.one_way_delay(src, dst, rng_);
@@ -72,11 +91,13 @@ void World::deliver(Envelope env) {
   // outrun a partition in this model; good enough for the experiments).
   if (!faults_.is_up(env.dst) || crashed_.at(idx)) {
     ++dropped_;
+    m_dropped_->inc();
     return;
   }
   Actor* a = actors_.at(idx);
   DQ_INVARIANT(a != nullptr, "message addressed to a node with no actor");
   ++received_by_.at(idx);
+  m_delivered_->inc();
   a->on_message(env);
 }
 

@@ -10,8 +10,11 @@
 #include <memory>
 #include <vector>
 
+#include <array>
+
 #include "common/ids.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
@@ -129,6 +132,14 @@ class World {
   [[nodiscard]] MessageStats& message_stats() { return stats_; }
   [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
 
+  // The world's metrics registry.  Purely passive accounting: recording or
+  // snapshotting metrics never schedules events, draws randomness, or sends
+  // messages, so it cannot perturb the simulation (see obs/metrics.h).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
   // Per-node load: messages this node sent / had delivered to it.  The
   // grid-quorum experiments use this to show load spreading ("reduce the
   // overall system load", paper section 6).
@@ -148,6 +159,14 @@ class World {
   Tracer tracer_;
   FaultPlane faults_;
   MessageStats stats_;
+  obs::MetricsRegistry metrics_;
+  // Pre-registered network instruments (hot path: no name lookups).
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  std::array<obs::Counter*, 4> m_link_msgs_{};
+  std::array<obs::Counter*, 4> m_link_bytes_{};
   std::vector<Actor*> actors_;
   std::vector<DriftClock> clocks_;
   std::vector<bool> crashed_;

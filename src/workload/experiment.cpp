@@ -28,6 +28,20 @@ std::vector<Protocol> paper_protocols() {
           Protocol::kRowa, Protocol::kRowaAsync};
 }
 
+QuorumSpec ExperimentParams::resolved_iqs() const {
+  // Deprecated flat fields win when set, so pre-redesign call sites that
+  // still assign iqs_size / iqs_grid_* keep their exact meaning.
+  if (iqs_grid_rows > 0 || iqs_grid_cols > 0) {
+    DQ_INVARIANT(iqs_grid_rows > 0 && iqs_grid_cols > 0,
+                 "iqs_grid_rows and iqs_grid_cols must both be set");
+    DQ_INVARIANT(iqs_size == 0 || iqs_size == iqs_grid_rows * iqs_grid_cols,
+                 "iqs_grid dimensions must cover iqs_size");
+    return QuorumSpec::grid(iqs_grid_rows, iqs_grid_cols);
+  }
+  if (iqs_size > 0) return QuorumSpec::majority(iqs_size);
+  return iqs;
+}
+
 Deployment::Deployment(const ExperimentParams& params) : params_(params) {
   world_ = std::make_unique<sim::World>(sim::Topology(params_.topo),
                                         params_.seed);
@@ -111,19 +125,18 @@ AppClient::Params Deployment::client_params() const {
 
 void Deployment::build_dqvl() {
   const auto& topo = world_->topology();
-  DQ_INVARIANT(params_.iqs_size >= 1 &&
-                   params_.iqs_size <= topo.num_servers(),
-               "iqs_size out of range");
+  const QuorumSpec spec = params_.resolved_iqs();
+  DQ_INVARIANT(spec.size() >= 1 && spec.size() <= topo.num_servers(),
+               "IQS spec size out of range");
 
   std::vector<NodeId> all = topo.servers();
-  std::vector<NodeId> iqs_members(all.begin(),
-                                  all.begin() +
-                                      static_cast<std::ptrdiff_t>(
-                                          params_.iqs_size));
+  std::vector<NodeId> iqs_members(
+      all.begin(), all.begin() + static_cast<std::ptrdiff_t>(spec.size()));
   auto cfg = std::make_shared<core::DqConfig>(core::DqConfig::headline(
       all, iqs_members,
       params_.protocol == Protocol::kDqBasic ? sim::kTimeInfinity
                                              : params_.lease_length));
+  cfg->iqs = spec.build(iqs_members);
   if (params_.oqs_read_quorum > 1) {
     // |orq| = r implies |owq| = n - r + 1 for intersection.
     const std::size_t n = all.size();
@@ -132,13 +145,6 @@ void Deployment::build_dqvl() {
         all, params_.oqs_read_quorum, n - params_.oqs_read_quorum + 1);
   }
   cfg->object_lease_length = params_.object_lease_length;
-  if (params_.iqs_grid_rows > 0) {
-    DQ_INVARIANT(params_.iqs_grid_rows * params_.iqs_grid_cols ==
-                     params_.iqs_size,
-                 "iqs_grid dimensions must cover iqs_size");
-    cfg->iqs = std::make_shared<quorum::GridQuorum>(
-        iqs_members, params_.iqs_grid_rows, params_.iqs_grid_cols);
-  }
   cfg->volumes = store::VolumeMap(params_.num_volumes);
   cfg->max_delayed_per_volume = params_.max_delayed_per_volume;
   cfg->max_drift = params_.max_drift;
@@ -365,6 +371,7 @@ ExperimentResult Deployment::collect() {
   }
   r.violations = r.history.check_regular();
   r.sim_duration = world_->now();
+  r.metrics = world_->metrics().snapshot();
   return r;
 }
 

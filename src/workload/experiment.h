@@ -15,6 +15,7 @@
 
 #include "common/stats.h"
 #include "core/config.h"
+#include "obs/metrics.h"
 #include "core/iqs_server.h"
 #include "core/oqs_server.h"
 #include "protocols/majority.h"
@@ -27,6 +28,7 @@
 #include "workload/frontend.h"
 #include "workload/history.h"
 #include "workload/node.h"
+#include "workload/quorum_spec.h"
 
 namespace dq::workload {
 
@@ -49,18 +51,24 @@ struct ExperimentParams {
   sim::Topology::Params topo{};  // default: 9 servers, 3 clients, paper delays
 
   // Dual-quorum knobs.
-  std::size_t iqs_size = 5;  // first iqs_size servers form the IQS
+  // IQS shape and size: the first iqs.size() servers form the IQS.
+  // QuorumSpec::majority(n) is the paper's configuration; grid(r, c) is the
+  // section-6 "future work" ablation (one validated type instead of the old
+  // iqs_size / iqs_grid_rows / iqs_grid_cols trio).
+  QuorumSpec iqs = QuorumSpec::majority(5);
   // |orq|: 1 is the paper's headline (local reads); larger read quorums
   // shrink the OQS write quorum (paper section 6 "future work" ablation).
   std::size_t oqs_read_quorum = 1;
   sim::Duration lease_length = sim::seconds(10);
   // Object leases (paper footnote 4): kTimeInfinity = callbacks (default).
   sim::Duration object_lease_length = sim::kTimeInfinity;
-  // Use a grid quorum system for the IQS (paper section 6 future work:
-  // "configure IQS as a grid quorum system to reduce the overall system
-  // load").  When set, iqs_size must equal rows*cols and both > 0.
+  // DEPRECATED migration shim (kept one PR): the old flat IQS fields.  0
+  // means "unset, use `iqs`"; non-zero values win over `iqs` so existing
+  // call sites keep their meaning.  resolved_iqs() folds both forms.
+  std::size_t iqs_size = 0;
   std::size_t iqs_grid_rows = 0;
   std::size_t iqs_grid_cols = 0;
+  [[nodiscard]] QuorumSpec resolved_iqs() const;
   std::size_t num_volumes = 1;
   std::size_t max_delayed_per_volume = 64;  // epoch-GC bound
   double max_drift = 0.0;
@@ -97,6 +105,10 @@ struct ExperimentResult {
   History history;
   std::vector<Violation> violations;
   sim::Time sim_duration = 0;
+  // Everything the obs registry accumulated during the run (protocol
+  // counters, per-node load, phase histograms); see workload/report.h for
+  // the JSON rendering.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] std::uint64_t total_requests() const {
     return completed_reads + completed_writes + rejected_reads +

@@ -1,0 +1,168 @@
+#include "workload/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dq::workload {
+
+const std::vector<FlagHelp>& experiment_flag_help() {
+  static const std::vector<FlagHelp> kHelp = {
+      {"protocol", "dqvl | dqvl-atomic | dq-basic | majority | pb | pb-sync |"
+                   " rowa | rowa-async (default dqvl)"},
+      {"writes", "write ratio in [0,1] (default 0.05)"},
+      {"locality", "access locality in [0,1] (default 1.0)"},
+      {"burst", "workload burstiness in [0,1] (default 0)"},
+      {"servers", "number of edge servers (default 9)"},
+      {"clients", "number of application clients (default 3)"},
+      {"requests", "requests per client (default 300)"},
+      {"iqs", "IQS spec: majority:N | grid:RxC | read-one:N | N (default"
+              " majority:5)"},
+      {"orq", "OQS read quorum size (default 1)"},
+      {"lease-ms", "volume lease length in ms (default 10000)"},
+      {"obj-lease-ms", "object lease length in ms (default infinite)"},
+      {"volumes", "number of volumes (default 1)"},
+      {"grid", "DEPRECATED alias for --iqs=grid:RxC"},
+      {"drift", "max clock drift rate (default 0)"},
+      {"loss", "message loss probability (default 0)"},
+      {"node-unavail", "per-node unavailability for failure injection"},
+      {"deadline-ms", "per-op deadline in ms (default: none)"},
+      {"think-ms", "client think time in ms (default 0)"},
+      {"seed", "RNG seed (default 42)"},
+      {"object", "single shared object id (default: per-client objects)"},
+  };
+  return kHelp;
+}
+
+std::map<std::string, std::string> parse_flag_map(int argc, char** argv,
+                                                  std::string* error) {
+  std::map<std::string, std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view raw = argv[i];
+    if (raw.size() < 2 || raw[0] != '-' || raw[1] != '-') {
+      if (error != nullptr) {
+        *error = "unrecognized argument: " + std::string(raw);
+      }
+      return {};
+    }
+    const std::string_view arg = raw.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      out.emplace(std::string(arg), "1");
+    } else {
+      out.emplace(std::string(arg.substr(0, eq)),
+                  std::string(arg.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+std::optional<Protocol> protocol_from_name(const std::string& s) {
+  static const std::map<std::string, Protocol> kMap = {
+      {"dqvl", Protocol::kDqvl},
+      {"dqvl-atomic", Protocol::kDqvlAtomic},
+      {"dq-basic", Protocol::kDqBasic},
+      {"majority", Protocol::kMajority},
+      {"pb", Protocol::kPrimaryBackup},
+      {"pb-sync", Protocol::kPrimaryBackupSync},
+      {"rowa", Protocol::kRowa},
+      {"rowa-async", Protocol::kRowaAsync},
+  };
+  auto it = kMap.find(s);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// Pop flags[name] if present: returns the value and erases the key.
+std::optional<std::string> take(std::map<std::string, std::string>& flags,
+                                const char* name) {
+  auto it = flags.find(name);
+  if (it == flags.end()) return std::nullopt;
+  std::string v = std::move(it->second);
+  flags.erase(it);
+  return v;
+}
+
+double take_num(std::map<std::string, std::string>& flags, const char* name,
+                double dflt) {
+  auto v = take(flags, name);
+  return v ? std::atof(v->c_str()) : dflt;
+}
+
+}  // namespace
+
+std::optional<ExperimentParams> params_from_flags(
+    std::map<std::string, std::string>& flags, std::string* error) {
+  auto fail = [error](std::string msg) -> std::optional<ExperimentParams> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  ExperimentParams p;
+  if (auto proto_name = take(flags, "protocol")) {
+    const auto proto = protocol_from_name(*proto_name);
+    if (!proto) return fail("unknown protocol '" + *proto_name + "'");
+    p.protocol = *proto;
+  }
+  p.write_ratio = take_num(flags, "writes", 0.05);
+  p.locality = take_num(flags, "locality", 1.0);
+  p.burstiness = take_num(flags, "burst", 0.0);
+  p.topo.num_servers =
+      static_cast<std::size_t>(take_num(flags, "servers", 9));
+  p.topo.num_clients =
+      static_cast<std::size_t>(take_num(flags, "clients", 3));
+  p.requests_per_client =
+      static_cast<std::size_t>(take_num(flags, "requests", 300));
+
+  if (auto iqs = take(flags, "iqs")) {
+    const auto spec = QuorumSpec::parse(*iqs);
+    if (!spec) {
+      return fail("--iqs expects majority:N | grid:RxC | read-one:N | N,"
+                  " got '" + *iqs + "'");
+    }
+    p.iqs = *spec;
+  }
+  if (auto grid = take(flags, "grid")) {  // deprecated alias
+    const auto spec = QuorumSpec::parse("grid:" + *grid);
+    if (!spec) return fail("--grid expects ROWSxCOLS, got '" + *grid + "'");
+    p.iqs = *spec;
+  }
+
+  p.oqs_read_quorum = static_cast<std::size_t>(take_num(flags, "orq", 1));
+  p.lease_length = sim::milliseconds(
+      static_cast<std::int64_t>(take_num(flags, "lease-ms", 10000)));
+  if (flags.count("obj-lease-ms") != 0) {
+    p.object_lease_length = sim::milliseconds(
+        static_cast<std::int64_t>(take_num(flags, "obj-lease-ms", 0)));
+  }
+  p.num_volumes = static_cast<std::size_t>(take_num(flags, "volumes", 1));
+  p.max_drift = take_num(flags, "drift", 0.0);
+  p.loss = take_num(flags, "loss", 0.0);
+  if (flags.count("node-unavail") != 0) {
+    p.failures = sim::FailureInjector::Params::for_unavailability(
+        take_num(flags, "node-unavail", 0.01), sim::seconds(100));
+  }
+  if (flags.count("deadline-ms") != 0) {
+    p.op_deadline = sim::milliseconds(
+        static_cast<std::int64_t>(take_num(flags, "deadline-ms", 0)));
+  }
+  p.think_time = sim::milliseconds(
+      static_cast<std::int64_t>(take_num(flags, "think-ms", 0)));
+  p.seed = static_cast<std::uint64_t>(take_num(flags, "seed", 42));
+  if (flags.count("object") != 0) {
+    const auto o = static_cast<std::uint64_t>(take_num(flags, "object", 0));
+    p.choose_object = [o](Rng&) { return ObjectId(o); };
+  }
+
+  if (p.iqs.size() > p.topo.num_servers) {
+    return fail("--iqs spec '" + p.iqs.describe() + "' needs " +
+                std::to_string(p.iqs.size()) + " nodes but --servers=" +
+                std::to_string(p.topo.num_servers));
+  }
+  return p;
+}
+
+}  // namespace dq::workload

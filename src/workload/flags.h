@@ -1,0 +1,50 @@
+// Shared command-line configuration for the experiment harness.
+//
+// tools/dqsim and every bench accept the same --flag=value vocabulary for
+// building an ExperimentParams; this module is the single definition of that
+// vocabulary (it used to be duplicated between dqsim and the benches, with
+// the copies drifting).
+//
+//   auto flags = parse_flag_map(argc, argv, &err);
+//   auto params = params_from_flags(flags, &err);   // consumes known keys
+//   // leftover keys in `flags` belong to the caller (--help, --trace, ...)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace dq::workload {
+
+struct FlagHelp {
+  const char* name;
+  const char* help;
+};
+
+// The experiment-parameter flags params_from_flags() understands, for usage
+// text.  Tool-specific flags (--help, --trace, --metrics-json, ...) are
+// documented by the tools themselves.
+[[nodiscard]] const std::vector<FlagHelp>& experiment_flag_help();
+
+// Parse "--name=value" / "--name" (value "1") argv into a map.  On a
+// malformed argument, returns an empty map and sets *error.
+[[nodiscard]] std::map<std::string, std::string> parse_flag_map(
+    int argc, char** argv, std::string* error);
+
+// "dqvl" | "dqvl-atomic" | "dq-basic" | "majority" | "pb" | "pb-sync" |
+// "rowa" | "rowa-async" -> Protocol; nullopt otherwise.
+[[nodiscard]] std::optional<Protocol> protocol_from_name(const std::string& s);
+
+// Build ExperimentParams from the flag map, ERASING every key it understands
+// (so callers can reject leftovers or route them to tool-specific handling).
+// Returns nullopt and sets *error on an invalid value.
+//
+// The --iqs flag takes a QuorumSpec: "majority:5", "grid:3x3", "read-one:9",
+// or a bare count (= majority).  --grid=RxC is kept as a deprecated alias
+// for --iqs=grid:RxC.
+[[nodiscard]] std::optional<ExperimentParams> params_from_flags(
+    std::map<std::string, std::string>& flags, std::string* error);
+
+}  // namespace dq::workload

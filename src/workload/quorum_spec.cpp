@@ -1,0 +1,99 @@
+#include "workload/quorum_spec.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dq::workload {
+
+QuorumSpec QuorumSpec::majority(std::size_t n) {
+  DQ_INVARIANT(n > 0, "majority quorum needs at least one member");
+  return {Shape::kMajority, n, 0, 0};
+}
+
+QuorumSpec QuorumSpec::grid(std::size_t rows, std::size_t cols) {
+  DQ_INVARIANT(rows > 0 && cols > 0, "grid quorum needs rows, cols > 0");
+  return {Shape::kGrid, rows * cols, rows, cols};
+}
+
+QuorumSpec QuorumSpec::read_one(std::size_t n) {
+  DQ_INVARIANT(n > 0, "read-one quorum needs at least one member");
+  return {Shape::kReadOne, n, 0, 0};
+}
+
+namespace {
+
+// Strict all-digits parse; nullopt on anything else (including empty).
+std::optional<std::size_t> parse_count(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t v = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return std::nullopt;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+    if (v > 1'000'000) return std::nullopt;  // nonsense guard
+  }
+  if (v == 0) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<QuorumSpec> QuorumSpec::parse(const std::string& s) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) {
+    // Bare number = majority (backward compatible with the old --iqs=N).
+    if (auto n = parse_count(s)) return QuorumSpec::majority(*n);
+    return std::nullopt;
+  }
+  const std::string kind = s.substr(0, colon);
+  const std::string arg = s.substr(colon + 1);
+  if (kind == "majority") {
+    if (auto n = parse_count(arg)) return QuorumSpec::majority(*n);
+    return std::nullopt;
+  }
+  if (kind == "read-one" || kind == "read_one") {
+    if (auto n = parse_count(arg)) return QuorumSpec::read_one(*n);
+    return std::nullopt;
+  }
+  if (kind == "grid") {
+    const auto x = arg.find('x');
+    if (x == std::string::npos) return std::nullopt;
+    const auto r = parse_count(arg.substr(0, x));
+    const auto c = parse_count(arg.substr(x + 1));
+    if (!r || !c) return std::nullopt;
+    return QuorumSpec::grid(*r, *c);
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<const quorum::QuorumSystem> QuorumSpec::build(
+    std::vector<NodeId> members) const {
+  DQ_INVARIANT(members.size() == size_,
+               "QuorumSpec::build: member count does not match spec size");
+  switch (shape_) {
+    case Shape::kMajority:
+      return quorum::ThresholdQuorum::majority(std::move(members));
+    case Shape::kGrid:
+      return std::make_shared<quorum::GridQuorum>(std::move(members), rows_,
+                                                  cols_);
+    case Shape::kReadOne:
+      return quorum::ThresholdQuorum::read_one(std::move(members));
+  }
+  return nullptr;  // unreachable
+}
+
+std::string QuorumSpec::describe() const {
+  switch (shape_) {
+    case Shape::kMajority:
+      return "majority:" + std::to_string(size_);
+    case Shape::kGrid:
+      return "grid:" + std::to_string(rows_) + "x" + std::to_string(cols_);
+    case Shape::kReadOne:
+      return "read-one:" + std::to_string(size_);
+  }
+  return "?";
+}
+
+}  // namespace dq::workload

@@ -1,0 +1,71 @@
+// QuorumSpec: a validated, declarative description of a quorum system for
+// experiment configuration.
+//
+// Replaces the old flat (iqs_size, iqs_grid_rows, iqs_grid_cols) trio in
+// ExperimentParams: a spec names both the shape and the membership count, so
+// an invalid combination (grid whose rows*cols disagree with its size, a
+// zero-member system) is rejected at construction instead of deep inside
+// deployment building.
+//
+//   QuorumSpec::majority(5)    // any 3 of 5 read AND write
+//   QuorumSpec::grid(3, 3)     // Cheung et al. grid over 9 members
+//   QuorumSpec::read_one(9)    // read 1 / write all (the headline OQS)
+//
+// parse() accepts the textual forms used by dqsim and the benches:
+//   "majority:5" | "grid:3x3" | "read-one:9" | "5" (bare number = majority)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "quorum/quorum.h"
+
+namespace dq::workload {
+
+class QuorumSpec {
+ public:
+  enum class Shape : std::uint8_t { kMajority, kGrid, kReadOne };
+
+  // Named constructors validate and abort (DQ_INVARIANT) on nonsense such
+  // as zero members.
+  [[nodiscard]] static QuorumSpec majority(std::size_t n);
+  [[nodiscard]] static QuorumSpec grid(std::size_t rows, std::size_t cols);
+  [[nodiscard]] static QuorumSpec read_one(std::size_t n);
+
+  // Parse "majority:5", "grid:3x3", "read-one:9", or a bare number
+  // (= majority).  Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<QuorumSpec> parse(const std::string& s);
+
+  [[nodiscard]] Shape shape() const { return shape_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  // Instantiate over a concrete member list (members.size() must equal
+  // size()).
+  [[nodiscard]] std::shared_ptr<const quorum::QuorumSystem> build(
+      std::vector<NodeId> members) const;
+
+  // The textual form parse() accepts, e.g. "grid:3x3".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const QuorumSpec& a, const QuorumSpec& b) {
+    return a.shape_ == b.shape_ && a.size_ == b.size_ && a.rows_ == b.rows_ &&
+           a.cols_ == b.cols_;
+  }
+
+ private:
+  QuorumSpec(Shape shape, std::size_t size, std::size_t rows, std::size_t cols)
+      : shape_(shape), size_(size), rows_(rows), cols_(cols) {}
+
+  Shape shape_;
+  std::size_t size_;
+  std::size_t rows_ = 0;  // grid only
+  std::size_t cols_ = 0;
+};
+
+}  // namespace dq::workload

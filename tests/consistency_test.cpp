@@ -74,7 +74,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RegularSemantics,
 TEST(RegularSemanticsExtra, DqvlSingletonIqs) {
   ExperimentParams p;
   p.protocol = Protocol::kDqvl;
-  p.iqs_size = 1;
+  p.iqs = workload::QuorumSpec::majority(1);
   p.write_ratio = 0.4;
   p.requests_per_client = 80;
   p.choose_object = [](Rng&) { return ObjectId(5); };

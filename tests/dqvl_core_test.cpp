@@ -140,7 +140,7 @@ TEST(DqvlCore, SecondWriteInBurstIsSuppressed) {
   // majority IQS, randomly selected quorums may include members with stale
   // callback knowledge, which legitimately re-invalidate.)
   ExperimentParams params = dqvl_params();
-  params.iqs_size = 1;
+  params.iqs = workload::QuorumSpec::majority(1);
   Fixture f(params);
   f.write(1, ObjectId(5), "v1");
   f.read(0, ObjectId(5));

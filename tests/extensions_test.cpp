@@ -325,9 +325,7 @@ TEST(GridIqs, RegularSemanticsSweep) {
   for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
     ExperimentParams p;
     p.protocol = Protocol::kDqvl;
-    p.iqs_size = 4;
-    p.iqs_grid_rows = 2;
-    p.iqs_grid_cols = 2;
+    p.iqs = workload::QuorumSpec::grid(2, 2);
     p.write_ratio = 0.4;
     p.requests_per_client = 60;
     p.seed = seed;
@@ -345,9 +343,7 @@ TEST(GridIqs, SmallerReadQuorumThanMajority) {
   ExperimentParams p;
   p.protocol = Protocol::kDqvl;
   p.topo.num_servers = 9;
-  p.iqs_size = 9;
-  p.iqs_grid_rows = 3;
-  p.iqs_grid_cols = 3;
+  p.iqs = workload::QuorumSpec::grid(3, 3);
   Deployment dep(p);
   EXPECT_EQ(dep.dq_config()->iqs->quorum_size(quorum::Kind::kRead), 3u);
   EXPECT_EQ(dep.dq_config()->iqs->quorum_size(quorum::Kind::kWrite), 5u);

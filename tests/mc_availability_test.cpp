@@ -18,7 +18,7 @@ double measured_unavailability(Protocol proto, double w, double p_node,
   p.requests_per_client = 300;
   p.seed = seed;
   p.topo.num_servers = 5;
-  p.iqs_size = 5;
+  p.iqs = workload::QuorumSpec::majority(5);
   p.lease_length = sim::milliseconds(500);
   // Deadline far below the mean repair time: waiting out a failure is
   // improbable, matching the model's instantaneous-availability view.

@@ -1,0 +1,319 @@
+// The obs metrics layer: registry semantics, histogram bucket math,
+// snapshot merging, report rendering, QuorumSpec parsing, and the key
+// property the whole design hangs on -- recording metrics perturbs nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "workload/experiment.h"
+#include "workload/quorum_spec.h"
+#include "workload/report.h"
+
+namespace dq::workload {
+namespace {
+
+// --------------------------------------------------------------------------
+// Registry semantics
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstruments) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c1 = reg.counter("a");
+  c1.inc(3);
+  // Registering more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  obs::Counter& c2 = reg.counter("a");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+}
+
+TEST(MetricsRegistry, GaugeTracksValueAndHighWaterMark) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("depth");
+  g.add(+5);
+  g.add(+2);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max(), 7);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+  EXPECT_EQ(g.max(), 7);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("x");
+  obs::Gauge& g = reg.gauge("y");
+  obs::Histogram& h = reg.histogram("z");
+  c.inc(7);
+  g.add(4);
+  h.observe(1.5);
+  reg.reset();
+  EXPECT_EQ(&c, &reg.counter("x"));  // same address after reset
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+  EXPECT_EQ(h.data().count, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Histogram bucket edges
+// --------------------------------------------------------------------------
+
+TEST(Histogram, BucketEdgesAreLogScale) {
+  // upper(i) = 0.001 * 2^i ms.
+  EXPECT_DOUBLE_EQ(obs::HistogramData::bucket_upper_ms(0), 0.001);
+  EXPECT_DOUBLE_EQ(obs::HistogramData::bucket_upper_ms(1), 0.002);
+  EXPECT_DOUBLE_EQ(obs::HistogramData::bucket_upper_ms(10), 1.024);
+}
+
+TEST(Histogram, BucketIndexRespectsEdges) {
+  using HD = obs::HistogramData;
+  // Bucket 0 holds everything at or below its upper edge, including 0.
+  EXPECT_EQ(HD::bucket_index(0.0), 0u);
+  EXPECT_EQ(HD::bucket_index(0.001), 0u);
+  // Strictly above an edge falls into the next bucket.
+  EXPECT_EQ(HD::bucket_index(0.0011), 1u);
+  EXPECT_EQ(HD::bucket_index(0.002), 1u);
+  // Values beyond the last edge land in the final (unbounded) bucket.
+  EXPECT_EQ(HD::bucket_index(1e18), HD::kBuckets - 1);
+  // Every bucket's own upper edge maps back to that bucket.
+  for (std::size_t i = 0; i + 1 < HD::kBuckets; ++i) {
+    EXPECT_EQ(HD::bucket_index(HD::bucket_upper_ms(i)), i) << i;
+  }
+}
+
+TEST(Histogram, ObserveTracksCountSumExtrema) {
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(4.0);
+  h.observe(0.0);
+  const auto& d = h.data();
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 5.0);
+  EXPECT_DOUBLE_EQ(d.min, 0.0);
+  EXPECT_DOUBLE_EQ(d.max, 4.0);
+  EXPECT_NEAR(d.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, QuantilesAreExactAtExtremesAndBucketAccurateBetween) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1.0);   // bucket of 1 ms
+  for (int i = 0; i < 100; ++i) h.observe(64.0);  // much larger bucket
+  const auto& d = h.data();
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), d.min);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), d.max);
+  // p25 lives in the 1 ms bucket; bucket interpolation is within a factor
+  // of two of the true value.
+  EXPECT_LE(d.quantile(0.25), 2.0);
+  // p75 lives in the 64 ms bucket.
+  EXPECT_GE(d.quantile(0.75), 32.0);
+  EXPECT_LE(d.quantile(0.75), 64.0 + 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Snapshot merge
+// --------------------------------------------------------------------------
+
+TEST(MetricsSnapshot, MergeAddsCountersAndHistogramsMaxesGauges) {
+  obs::MetricsRegistry a, b;
+  a.counter("c").inc(2);
+  b.counter("c").inc(5);
+  b.counter("only_b").inc(1);
+  a.gauge("g").add(3);
+  b.gauge("g").add(9);
+  a.histogram("h").observe(1.0);
+  b.histogram("h").observe(3.0);
+
+  obs::MetricsSnapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.counter("c"), 7u);
+  EXPECT_EQ(s.counter("only_b"), 1u);
+  EXPECT_EQ(s.counter("missing"), 0u);
+  EXPECT_EQ(s.gauges.at("g").value, 9);
+  EXPECT_EQ(s.gauges.at("g").max, 9);
+  const obs::HistogramData* h = s.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 4.0);
+  EXPECT_DOUBLE_EQ(h->min, 1.0);
+  EXPECT_DOUBLE_EQ(h->max, 3.0);
+}
+
+TEST(MetricsSnapshot, CountersWithPrefixStripsThePrefix) {
+  obs::MetricsRegistry reg;
+  reg.counter(obs::node_metric("iqs.load", 0)).inc(4);
+  reg.counter(obs::node_metric("iqs.load", 3)).inc(9);
+  reg.counter("iqs.writes").inc(1);
+  const auto loads = reg.snapshot().counters_with_prefix("iqs.load.");
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads.at("n0"), 4u);
+  EXPECT_EQ(loads.at("n3"), 9u);
+}
+
+// --------------------------------------------------------------------------
+// QuorumSpec
+// --------------------------------------------------------------------------
+
+TEST(QuorumSpec, ParseRoundTripsDescribe) {
+  for (const char* s : {"majority:5", "grid:3x3", "read-one:9"}) {
+    const auto spec = QuorumSpec::parse(s);
+    ASSERT_TRUE(spec.has_value()) << s;
+    EXPECT_EQ(spec->describe(), s);
+  }
+  // Bare number = majority.
+  const auto bare = QuorumSpec::parse("7");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->describe(), "majority:7");
+  for (const char* bad : {"", "grid:9", "grid:3x", "majority:", "majority:0",
+                          "ring:5", "3x3"}) {
+    EXPECT_FALSE(QuorumSpec::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(QuorumSpec, BuildProducesIntersectingSystems) {
+  std::vector<NodeId> nine;
+  for (std::uint32_t i = 0; i < 9; ++i) nine.emplace_back(i);
+  for (const QuorumSpec& spec :
+       {QuorumSpec::majority(9), QuorumSpec::grid(3, 3),
+        QuorumSpec::read_one(9)}) {
+    ASSERT_EQ(spec.size(), 9u);
+    const auto sys = spec.build(nine);
+    ASSERT_NE(sys, nullptr);
+    const auto report = quorum::check_intersection(*sys);
+    EXPECT_TRUE(report.read_write_ok) << spec.describe();
+    EXPECT_TRUE(report.write_write_ok) << spec.describe();
+  }
+}
+
+TEST(QuorumSpec, DeprecatedFlatFieldsStillResolve) {
+  ExperimentParams p;
+  EXPECT_EQ(p.resolved_iqs().describe(), "majority:5");  // the default spec
+  p.iqs_size = 7;
+  EXPECT_EQ(p.resolved_iqs().describe(), "majority:7");
+  p.iqs_size = 9;
+  p.iqs_grid_rows = 3;
+  p.iqs_grid_cols = 3;
+  EXPECT_EQ(p.resolved_iqs().describe(), "grid:3x3");
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: experiments populate the snapshot; recording changes nothing
+// --------------------------------------------------------------------------
+
+ExperimentParams small_dqvl(std::uint64_t seed) {
+  ExperimentParams p;
+  p.protocol = Protocol::kDqvl;
+  p.write_ratio = 0.3;
+  p.requests_per_client = 60;
+  p.loss = 0.02;
+  p.lease_length = sim::milliseconds(900);
+  p.seed = seed;
+  p.choose_object = [](Rng& rng) { return ObjectId(rng.below(3)); };
+  return p;
+}
+
+TEST(MetricsEndToEnd, DqvlRunPopulatesCoreInstruments) {
+  const auto r = run_experiment(small_dqvl(5));
+  const obs::MetricsSnapshot& m = r.metrics;
+  EXPECT_GT(m.counter("net.sent"), 0u);
+  EXPECT_GT(m.counter("net.delivered"), 0u);
+  EXPECT_GT(m.counter("qrpc.calls"), 0u);
+  EXPECT_GT(m.counter("iqs.writes"), 0u);
+  EXPECT_GT(m.counter("oqs.read.hits") + m.counter("oqs.read.misses"), 0u);
+  EXPECT_FALSE(m.counters_with_prefix("iqs.load.").empty());
+  // Every completed write is classified into exactly one phase.
+  const auto* sup = m.histogram("dqvl.write.suppress_ms");
+  const auto* inv = m.histogram("dqvl.write.invalidate_ms");
+  const auto* lw = m.histogram("dqvl.write.lease_wait_ms");
+  ASSERT_NE(sup, nullptr);
+  ASSERT_NE(inv, nullptr);
+  ASSERT_NE(lw, nullptr);
+  EXPECT_GT(sup->count + inv->count + lw->count, 0u);
+  // QRPC in-flight gauge must drain back to zero by the end of the run.
+  EXPECT_EQ(m.gauges.at("qrpc.inflight").value, 0);
+  EXPECT_GT(m.gauges.at("qrpc.inflight").max, 0);
+}
+
+TEST(MetricsEndToEnd, BaselineRunsPopulateProtocolCounters) {
+  ExperimentParams p;
+  p.requests_per_client = 40;
+  p.write_ratio = 0.2;
+  p.seed = 11;
+  p.protocol = Protocol::kMajority;
+  EXPECT_GT(run_experiment(p).metrics.counter("proto.majority.writes"), 0u);
+  p.protocol = Protocol::kPrimaryBackup;
+  EXPECT_GT(run_experiment(p).metrics.counter("proto.pb.reads"), 0u);
+  p.protocol = Protocol::kRowa;
+  EXPECT_GT(run_experiment(p).metrics.counter("proto.rowa.reads"), 0u);
+  p.protocol = Protocol::kRowaAsync;
+  EXPECT_GT(run_experiment(p).metrics.counter("proto.rowa_async.writes"), 0u);
+}
+
+// The determinism assertion the whole layer is designed around: a run that
+// snapshots / inspects metrics produces bit-for-bit the same schedule,
+// timestamps, and message counts as one that never touches them.
+TEST(MetricsEndToEnd, MetricsDoNotPerturbTheSimulation) {
+  // Run A: plain run, ignore metrics entirely.
+  const auto a = run_experiment(small_dqvl(77));
+
+  // Run B: same seed, but aggressively exercise the metrics surface
+  // mid-run (snapshots allocate, quantiles do float math -- none of it may
+  // touch the event schedule).
+  Deployment dep(small_dqvl(77));
+  dep.start_clients();
+  obs::MetricsSnapshot probe;
+  while (!dep.clients_done()) {
+    dep.world().run_for(sim::seconds(1));  // same stepping as run()
+    probe = dep.world().metrics().snapshot();
+    for (const auto& [name, h] : probe.histograms) {
+      (void)h.quantile(0.5);
+    }
+  }
+  const auto b = dep.collect();
+
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.message_table, b.message_table);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history.ops()[i].invoked, b.history.ops()[i].invoked);
+    EXPECT_EQ(a.history.ops()[i].completed, b.history.ops()[i].completed);
+  }
+  // And the metric streams themselves are reproducible.
+  EXPECT_EQ(a.metrics.counters, b.metrics.counters);
+}
+
+// --------------------------------------------------------------------------
+// Report rendering
+// --------------------------------------------------------------------------
+
+TEST(Report, JsonContainsTheSchemaSections) {
+  const auto p = small_dqvl(3);
+  const auto r = run_experiment(p);
+  const std::string json = report::to_json(p, r);
+  for (const char* needle :
+       {"\"schema\":\"dq.report.v1\"", "\"protocol\":\"DQVL\"",
+        "\"iqs\":\"majority:5\"", "\"latency_ms\"", "\"write_phases\"",
+        "\"suppress\"", "\"invalidate\"", "\"lease_wait\"", "\"iqs_load\"",
+        "\"metrics\"", "\"sim_duration_ms\"", "\"violations\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, SummaryPercentilesAreMemoizedCorrectly) {
+  Summary s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // reverse order
+  EXPECT_DOUBLE_EQ(s.p50(), 50.5);
+  // Adding after a query must invalidate the memoized sort.
+  s.add(1000.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(s.p99(), s.percentile(99));
+}
+
+}  // namespace
+}  // namespace dq::workload

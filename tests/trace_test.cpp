@@ -124,7 +124,7 @@ TEST(Trace, DelayedInvalAndEpochEventsAreRecorded) {
   p.protocol = Protocol::kDqvl;
   p.lease_length = sim::seconds(1);
   p.max_delayed_per_volume = 2;
-  p.iqs_size = 1;  // single IQS node sees every write: deterministic GC
+  p.iqs = workload::QuorumSpec::majority(1);  // single IQS node sees every write: deterministic GC
   p.requests_per_client = 0;
   Deployment dep(p);
   auto& w = dep.world();

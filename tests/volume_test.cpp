@@ -117,7 +117,7 @@ TEST(Volumes, EpochsAreIndependentPerVolume) {
   p.num_volumes = 2;
   p.lease_length = sim::seconds(1);
   p.max_delayed_per_volume = 1;
-  p.iqs_size = 1;
+  p.iqs = workload::QuorumSpec::majority(1);
   p.requests_per_client = 0;
   Deployment dep(p);
   auto& w = dep.world();

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate dq.report.v1 / dq.bench.v1 JSON emitted by dqsim and the benches.
+
+Usage:
+  check_metrics_schema.py FILE [FILE...]      validate existing JSON files
+  check_metrics_schema.py --dqsim PATH        run `PATH --protocol=dqvl
+                                              --metrics-json=<tmp>` and
+                                              validate the output (also checks
+                                              the DQVL-specific sections:
+                                              write_phases and iqs_load)
+
+Exit status 0 iff every document validates.  Uses only the standard library.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SUMMARY_KEYS = {"count", "mean", "min", "max", "p50", "p95", "p99"}
+REPORT_KEYS = {
+    "schema", "protocol", "config", "requests", "availability", "latency_ms",
+    "messages", "write_phases", "iqs_load", "metrics", "sim_duration_ms",
+    "violations",
+}
+CONFIG_KEYS = {
+    "iqs", "oqs_read_quorum", "servers", "clients", "requests_per_client",
+    "write_ratio", "seed",
+}
+METRICS_KEYS = {"counters", "gauges", "histograms"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_summary(obj, where):
+    expect(isinstance(obj, dict), f"{where}: expected object")
+    missing = SUMMARY_KEYS - obj.keys()
+    expect(not missing, f"{where}: missing keys {sorted(missing)}")
+    for k in SUMMARY_KEYS:
+        expect(isinstance(obj[k], (int, float)), f"{where}.{k}: not a number")
+    expect(obj["count"] >= 0, f"{where}.count: negative")
+    if obj["count"] > 0:
+        expect(obj["min"] <= obj["p50"] <= obj["p99"] <= obj["max"] + 1e-9,
+               f"{where}: quantiles not ordered "
+               f"(min={obj['min']} p50={obj['p50']} p99={obj['p99']} "
+               f"max={obj['max']})")
+
+
+def check_report(doc, where, *, dqvl=False):
+    expect(isinstance(doc, dict), f"{where}: expected object")
+    expect(doc.get("schema") == "dq.report.v1",
+           f"{where}.schema: {doc.get('schema')!r} != 'dq.report.v1'")
+    missing = REPORT_KEYS - doc.keys()
+    expect(not missing, f"{where}: missing keys {sorted(missing)}")
+
+    expect(isinstance(doc["protocol"], str) and doc["protocol"],
+           f"{where}.protocol: not a non-empty string")
+
+    cfg = doc["config"]
+    expect(isinstance(cfg, dict), f"{where}.config: expected object")
+    missing = CONFIG_KEYS - cfg.keys()
+    expect(not missing, f"{where}.config: missing keys {sorted(missing)}")
+    expect(isinstance(cfg["iqs"], str) and
+           cfg["iqs"].split(":")[0] in ("majority", "grid", "read-one"),
+           f"{where}.config.iqs: {cfg['iqs']!r} is not a QuorumSpec string")
+
+    req = doc["requests"]
+    for k in ("completed_reads", "completed_writes", "rejected_reads",
+              "rejected_writes", "total"):
+        expect(isinstance(req.get(k), int), f"{where}.requests.{k}: not an int")
+    expect(req["total"] == req["completed_reads"] + req["completed_writes"] +
+           req["rejected_reads"] + req["rejected_writes"],
+           f"{where}.requests: total != completed + rejected")
+
+    lat = doc["latency_ms"]
+    for k in ("read", "write", "all"):
+        check_summary(lat.get(k), f"{where}.latency_ms.{k}")
+
+    msgs = doc["messages"]
+    for k in ("total", "bytes"):
+        expect(isinstance(msgs.get(k), int), f"{where}.messages.{k}: not an int")
+    for k in ("per_request", "bytes_per_request"):
+        expect(isinstance(msgs.get(k), (int, float)),
+               f"{where}.messages.{k}: not a number")
+    expect(isinstance(msgs.get("by_type"), dict),
+           f"{where}.messages.by_type: expected object")
+
+    expect(isinstance(doc["write_phases"], dict),
+           f"{where}.write_phases: expected object")
+    for name, hist in doc["write_phases"].items():
+        check_summary(hist, f"{where}.write_phases.{name}")
+    expect(isinstance(doc["iqs_load"], dict),
+           f"{where}.iqs_load: expected object")
+    for node, load in doc["iqs_load"].items():
+        expect(isinstance(load, int), f"{where}.iqs_load.{node}: not an int")
+
+    met = doc["metrics"]
+    expect(isinstance(met, dict), f"{where}.metrics: expected object")
+    missing = METRICS_KEYS - met.keys()
+    expect(not missing, f"{where}.metrics: missing keys {sorted(missing)}")
+    for k in METRICS_KEYS:
+        expect(isinstance(met[k], dict), f"{where}.metrics.{k}: expected object")
+
+    expect(isinstance(doc["sim_duration_ms"], (int, float)),
+           f"{where}.sim_duration_ms: not a number")
+    expect(isinstance(doc["violations"], int) and doc["violations"] >= 0,
+           f"{where}.violations: expected a non-negative count")
+
+    if dqvl:
+        # The acceptance bar: per-phase write-latency histograms and
+        # per-node IQS load counters must actually be populated.
+        phases = doc["write_phases"]
+        expect(set(phases) == {"suppress", "invalidate", "lease_wait"},
+               f"{where}.write_phases: got {sorted(phases)}")
+        total = sum(h["count"] for h in phases.values())
+        expect(total > 0, f"{where}.write_phases: no writes classified")
+        expect(doc["iqs_load"],
+               f"{where}.iqs_load: empty (no per-node IQS counters)")
+
+
+def check_document(doc, where):
+    """Validate either a single report or a dq.bench.v1 envelope."""
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema == "dq.bench.v1":
+        expect(isinstance(doc.get("bench"), str) and doc["bench"],
+               f"{where}.bench: not a non-empty string")
+        runs = doc.get("runs")
+        expect(isinstance(runs, list), f"{where}.runs: expected array")
+        for i, run in enumerate(runs):
+            check_report(run, f"{where}.runs[{i}]")
+        return len(runs)
+    check_report(doc, where, dqvl=doc.get("protocol") == "dqvl")
+    return 1
+
+
+def validate_file(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return check_document(doc, os.path.basename(path))
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--dqsim":
+        if len(argv) != 3:
+            print("usage: check_metrics_schema.py --dqsim PATH", file=sys.stderr)
+            return 2
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "report.json")
+            cmd = [argv[2], "--protocol=dqvl", f"--metrics-json={out}"]
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+            if proc.returncode != 0:
+                print(proc.stdout, file=sys.stderr)
+                print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}",
+                      file=sys.stderr)
+                return 1
+            try:
+                validate_file(out)
+            except (SchemaError, json.JSONDecodeError) as e:
+                print(f"FAIL: {out}: {e}", file=sys.stderr)
+                return 1
+        print("OK: dqsim --metrics-json output matches dq.report.v1")
+        return 0
+
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            n = validate_file(path)
+            print(f"OK: {path} ({n} report{'s' if n != 1 else ''})")
+        except (SchemaError, json.JSONDecodeError, OSError) as e:
+            print(f"FAIL: {path}: {e}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

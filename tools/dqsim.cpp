@@ -6,52 +6,30 @@
 //
 //   $ dqsim --protocol=dqvl --writes=0.05 --locality=0.9 --servers=9
 //           --requests=500 --lease-ms=10000 --seed=7   (one line)
+//   $ dqsim --protocol=dqvl --iqs=grid:3x3 --metrics-json=report.json
 //   $ dqsim --protocol=majority --writes=0.5 --loss=0.05
 //   $ dqsim --help
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
-#include <cstring>
-#include <map>
-#include <optional>
+#include <iostream>
 #include <string>
-#include <string_view>
 
 #include "workload/experiment.h"
+#include "workload/flags.h"
+#include "workload/report.h"
 
 using namespace dq;
 using namespace dq::workload;
 
 namespace {
 
-struct Flag {
-  const char* name;
-  const char* help;
-};
-
-constexpr Flag kFlags[] = {
-    {"protocol", "dqvl | dqvl-atomic | dq-basic | majority | pb | pb-sync |"
-                 " rowa | rowa-async (default dqvl)"},
-    {"writes", "write ratio in [0,1] (default 0.05)"},
-    {"locality", "access locality in [0,1] (default 1.0)"},
-    {"servers", "number of edge servers (default 9)"},
-    {"clients", "number of application clients (default 3)"},
-    {"requests", "requests per client (default 300)"},
-    {"iqs", "IQS size for dual-quorum protocols (default 5)"},
-    {"orq", "OQS read quorum size (default 1)"},
-    {"lease-ms", "volume lease length in ms (default 10000)"},
-    {"obj-lease-ms", "object lease length in ms (default infinite)"},
-    {"volumes", "number of volumes (default 1)"},
-    {"grid", "IQS grid as ROWSxCOLS, e.g. 3x3 (default: majority)"},
-    {"drift", "max clock drift rate (default 0)"},
-    {"loss", "message loss probability (default 0)"},
-    {"node-unavail", "per-node unavailability for failure injection"},
-    {"deadline-ms", "per-op deadline in ms (default: none)"},
-    {"think-ms", "client think time in ms (default 0)"},
-    {"seed", "RNG seed (default 42)"},
-    {"object", "single shared object id (default: per-client objects)"},
+// Flags handled by this tool on top of the shared experiment vocabulary
+// (workload/flags.h).
+constexpr FlagHelp kToolFlags[] = {
     {"check", "atomic | regular: consistency check to run (default regular)"},
     {"messages", "print the per-type message table"},
+    {"metrics", "print the full metrics table (counters/gauges/histograms)"},
+    {"metrics-json", "write the dq.report.v1 JSON report to FILE"},
     {"trace", "print the last N protocol trace events (default 40)"},
     {"sweep", "sweep a parameter: writes|locality|burst, e.g."
               " --sweep=writes prints a table over [0,1]"},
@@ -59,114 +37,49 @@ constexpr Flag kFlags[] = {
 
 void usage() {
   std::printf("usage: dqsim [--flag=value ...]\n\n");
-  for (const Flag& f : kFlags) {
+  for (const FlagHelp& f : experiment_flag_help()) {
     std::printf("  --%-16s %s\n", f.name, f.help);
   }
-}
-
-std::map<std::string, std::string> parse(int argc, char** argv) {
-  std::map<std::string, std::string> out;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view raw = argv[i];
-    if (raw.size() < 2 || raw[0] != '-' || raw[1] != '-') {
-      std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
-      std::exit(2);
-    }
-    const std::string_view arg = raw.substr(2);
-    const auto eq = arg.find('=');
-    if (eq == std::string_view::npos) {
-      out.emplace(std::string(arg), "1");
-    } else {
-      out.emplace(std::string(arg.substr(0, eq)),
-                  std::string(arg.substr(eq + 1)));
-    }
+  for (const FlagHelp& f : kToolFlags) {
+    std::printf("  --%-16s %s\n", f.name, f.help);
   }
-  return out;
-}
-
-std::optional<Protocol> parse_protocol(const std::string& s) {
-  static const std::map<std::string, Protocol> kMap = {
-      {"dqvl", Protocol::kDqvl},
-      {"dqvl-atomic", Protocol::kDqvlAtomic},
-      {"dq-basic", Protocol::kDqBasic},
-      {"majority", Protocol::kMajority},
-      {"pb", Protocol::kPrimaryBackup},
-      {"pb-sync", Protocol::kPrimaryBackupSync},
-      {"rowa", Protocol::kRowa},
-      {"rowa-async", Protocol::kRowaAsync},
-  };
-  auto it = kMap.find(s);
-  if (it == kMap.end()) return std::nullopt;
-  return it->second;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = parse(argc, argv);
-  if (flags.count("help")) {
+  std::string err;
+  auto flags = parse_flag_map(argc, argv, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (flags.count("help") != 0) {
     usage();
     return 0;
   }
-  auto get = [&](const char* name, double dflt) {
-    auto it = flags.find(name);
-    return it == flags.end() ? dflt : std::atof(it->second.c_str());
-  };
 
-  ExperimentParams p;
-  const std::string proto_name =
-      flags.count("protocol") ? flags["protocol"] : "dqvl";
-  const auto proto = parse_protocol(proto_name);
-  if (!proto) {
-    std::fprintf(stderr, "unknown protocol '%s'\n", proto_name.c_str());
+  const auto params = params_from_flags(flags, &err);
+  if (!params) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     usage();
     return 2;
   }
-  p.protocol = *proto;
-  p.write_ratio = get("writes", 0.05);
-  p.locality = get("locality", 1.0);
-  p.topo.num_servers = static_cast<std::size_t>(get("servers", 9));
-  p.topo.num_clients = static_cast<std::size_t>(get("clients", 3));
-  p.requests_per_client = static_cast<std::size_t>(get("requests", 300));
-  p.iqs_size = static_cast<std::size_t>(get("iqs", 5));
-  p.oqs_read_quorum = static_cast<std::size_t>(get("orq", 1));
-  p.lease_length = sim::milliseconds(
-      static_cast<std::int64_t>(get("lease-ms", 10000)));
-  if (flags.count("obj-lease-ms")) {
-    p.object_lease_length = sim::milliseconds(
-        static_cast<std::int64_t>(get("obj-lease-ms", 0)));
-  }
-  p.num_volumes = static_cast<std::size_t>(get("volumes", 1));
-  if (flags.count("grid")) {
-    const std::string g = flags["grid"];
-    const auto x = g.find('x');
-    if (x == std::string::npos) {
-      std::fprintf(stderr, "--grid expects ROWSxCOLS, got '%s'\n", g.c_str());
+  const ExperimentParams& p = *params;
+
+  // params_from_flags consumed the experiment vocabulary; whatever is left
+  // must be one of this tool's own flags.
+  for (const auto& [name, value] : flags) {
+    bool known = false;
+    for (const FlagHelp& f : kToolFlags) known = known || name == f.name;
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      usage();
       return 2;
     }
-    p.iqs_grid_rows = static_cast<std::size_t>(std::atoi(g.c_str()));
-    p.iqs_grid_cols =
-        static_cast<std::size_t>(std::atoi(g.c_str() + x + 1));
-  }
-  p.max_drift = get("drift", 0.0);
-  p.loss = get("loss", 0.0);
-  if (flags.count("node-unavail")) {
-    p.failures = sim::FailureInjector::Params::for_unavailability(
-        get("node-unavail", 0.01), sim::seconds(100));
-  }
-  if (flags.count("deadline-ms")) {
-    p.op_deadline = sim::milliseconds(
-        static_cast<std::int64_t>(get("deadline-ms", 0)));
-  }
-  p.think_time =
-      sim::milliseconds(static_cast<std::int64_t>(get("think-ms", 0)));
-  p.seed = static_cast<std::uint64_t>(get("seed", 42));
-  if (flags.count("object")) {
-    const auto o = static_cast<std::uint64_t>(get("object", 0));
-    p.choose_object = [o](Rng&) { return ObjectId(o); };
   }
 
-  if (flags.count("sweep")) {
+  if (flags.count("sweep") != 0) {
     const std::string dim = flags["sweep"];
     if (dim != "writes" && dim != "locality" && dim != "burst") {
       std::fprintf(stderr, "--sweep expects writes|locality|burst\n");
@@ -199,18 +112,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.rejected_reads +
                                               r.rejected_writes));
   std::printf("read latency (ms)   mean %.2f  p50 %.2f  p99 %.2f\n",
-              r.read_ms.mean(), r.read_ms.percentile(50),
-              r.read_ms.percentile(99));
+              r.read_ms.mean(), r.read_ms.p50(), r.read_ms.p99());
   std::printf("write latency (ms)  mean %.2f  p50 %.2f  p99 %.2f\n",
-              r.write_ms.mean(), r.write_ms.percentile(50),
-              r.write_ms.percentile(99));
+              r.write_ms.mean(), r.write_ms.p50(), r.write_ms.p99());
   std::printf("overall (ms)        mean %.2f\n", r.all_ms.mean());
   std::printf("availability        %.6f\n", r.availability());
   std::printf("messages/request    %.2f (%.0f bytes/request)\n",
               r.messages_per_request, r.bytes_per_request);
 
   const bool atomic_check =
-      flags.count("check") && flags["check"] == "atomic";
+      flags.count("check") != 0 && flags["check"] == "atomic";
   const auto violations =
       atomic_check ? r.history.check_atomic() : r.history.check_regular();
   std::printf("%s check       %s\n", atomic_check ? "atomic " : "regular",
@@ -219,15 +130,28 @@ int main(int argc, char** argv) {
     std::printf("  violation: %s\n", violations[i].reason.c_str());
   }
 
-  if (flags.count("messages")) {
+  if (flags.count("messages") != 0) {
     std::printf("\nmessages by type:\n");
     for (const auto& [name, count] : r.message_table) {
       std::printf("  %-20s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(count));
     }
   }
+  if (flags.count("metrics") != 0) {
+    std::printf("\n");
+    report::print_table(r, stdout);
+  }
+  if (flags.count("metrics-json") != 0) {
+    const std::string path = flags["metrics-json"];
+    if (!report::write_json(p, r, path, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
   if (tracing) {
-    const auto n = static_cast<std::size_t>(get("trace", 40));
+    const auto n =
+        static_cast<std::size_t>(std::atof(flags["trace"].c_str()));
     std::printf("\nlast %zu protocol events:\n", n);
     dep.world().tracer().dump(std::cout, "", n == 1 ? 40 : n);
   }
