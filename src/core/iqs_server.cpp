@@ -324,6 +324,8 @@ void IqsServer::finish_ensure(ObjectId o) {
   // Keep `ensured` for fast-acking duplicate retransmissions; the entry is
   // small and bounded by the number of live objects.
   for (const Waiter& w : ready) {
+    // dqlint:allow(proto-direct-send): deferred reply tagged with the
+    // recorded waiter's rpc id -- the reply path when the envelope is gone.
     world_.send_tagged(self_, w.src, w.rpc_id, msg::DqWriteAck{o, w.clock},
                        /*is_reply=*/true);
   }

@@ -24,7 +24,6 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -71,12 +70,12 @@ class IqsServer {
     LogicalClock last_write;
     LogicalClock last_read;
     Value value;
-    std::unordered_map<NodeId, LogicalClock> last_ack;
+    std::map<NodeId, LogicalClock> last_ack;
     // When each OQS node's object lease expires (padded local time).
     // Absent or past => that node holds no usable object lease from this
     // node and needs no invalidation.  With infinite object leases
     // (callbacks, the paper's default) a grant never expires.
-    std::unordered_map<NodeId, sim::Time> obj_expires;
+    std::map<NodeId, sim::Time> obj_expires;
   };
 
   struct LeaseState {
@@ -149,9 +148,13 @@ class IqsServer {
   rpc::QrpcEngine engine_;
 
   LogicalClock logical_clock_;  // >= every lastWriteLC on this node
-  std::unordered_map<ObjectId, ObjState> objects_;
+  // Ordered maps throughout: handle_vol_fetch walks objects_ (grant order is
+  // on the wire) and poke_volume walks ensures_ (poke order shapes the event
+  // schedule), so iteration order must not depend on a hash implementation
+  // (dqlint rule `det-unordered-container`).
+  std::map<ObjectId, ObjState> objects_;
   std::map<std::pair<VolumeId, NodeId>, LeaseState> leases_;
-  std::unordered_map<ObjectId, Ensure> ensures_;
+  std::map<ObjectId, Ensure> ensures_;
 
   // Instruments (registered once in the constructor; see obs/metrics.h).
   obs::Counter* m_load_;          // iqs.load.n<id>: requests this node handled

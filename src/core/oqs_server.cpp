@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "msg/epoch.h"
 #include "sim/processing.h"
 
 namespace dq::core {
@@ -48,6 +49,8 @@ bool OqsServer::on_message(const sim::Envelope& env) {
       apply_vol_renew_reply(env.src, r, &acks);
     }
     if (!acks.empty()) {
+      // dqlint:allow(proto-direct-send): one-way ack batch; no reply is
+      // expected, so the QRPC retransmission machinery does not apply.
       world_.send(self_, env.src, RequestId(0),
                   msg::DqVolRenewAckBatch{std::move(acks)});
     }
@@ -110,7 +113,7 @@ bool OqsServer::object_lease_valid(ObjectId o, NodeId i) const {
   const VolumeId v = cfg_->volumes.volume_of(o);
   auto vt = vol_state_.find({v, i});
   const msg::Epoch vol_epoch = vt == vol_state_.end() ? 0 : vt->second.epoch;
-  return it->second.epoch == vol_epoch;
+  return msg::epoch_matches(it->second.epoch, vol_epoch);
 }
 
 bool OqsServer::condition_c(ObjectId o) const {
@@ -158,6 +161,8 @@ void OqsServer::reply_to_read(const PendingRead& pr) {
     }
   }
   const VersionedValue vv = store_.get(pr.object);
+  // dqlint:allow(proto-direct-send): deferred reply tagged with the original
+  // rpc id -- the reply path for a handler that no longer holds the envelope.
   world_.send_tagged(self_, pr.src, pr.rpc_id,
                      msg::DqReadReply{pr.object, vv.value, lc},
                      /*is_reply=*/true);
@@ -242,7 +247,7 @@ void OqsServer::apply_vol_renew_reply(NodeId i, const msg::DqVolRenewReply& r,
   const sim::Time exp = eff >= sim::kTimeInfinity ? sim::kTimeInfinity
                                                   : r.requestor_time + eff;
   vs.expires = std::max(vs.expires, exp);
-  vs.epoch = std::max(vs.epoch, r.epoch);
+  vs.epoch = msg::epoch_max(vs.epoch, r.epoch);
 
   LogicalClock max_applied;
   for (const msg::Invalidation& inv : r.delayed) {
@@ -253,6 +258,8 @@ void OqsServer::apply_vol_renew_reply(NodeId i, const msg::DqVolRenewReply& r,
     if (batch_acks != nullptr) {
       batch_acks->push_back({r.volume, max_applied});
     } else {
+      // dqlint:allow(proto-direct-send): one-way delayed-invalidation ack;
+      // loss is tolerated (the grantor re-sends the queue at next renewal).
       world_.send(self_, i, RequestId(0),
                   msg::DqVolRenewAck{r.volume, max_applied});
     }
@@ -261,7 +268,7 @@ void OqsServer::apply_vol_renew_reply(NodeId i, const msg::DqVolRenewReply& r,
 
 void OqsServer::apply_obj_renew_reply(NodeId i, const msg::DqObjRenewReply& r) {
   auto& st = obj_state_[r.object][i];
-  st.epoch = std::max(st.epoch, r.epoch);
+  st.epoch = msg::epoch_max(st.epoch, r.epoch);
   if (st.clock <= r.clock) {
     st.clock = r.clock;
     st.valid = true;
@@ -331,6 +338,9 @@ void OqsServer::run_batched_renewal_round() {
     batches[i].renewals.push_back({v, local_now()});
   }
   for (auto& [i, batch] : batches) {
+    // dqlint:allow(proto-direct-send): periodic fire-and-forget renewal
+    // batch; replies route through on_message and a lost round is retried
+    // by the next timer tick, so QRPC would only duplicate that machinery.
     world_.send(self_, i, RequestId(0), std::move(batch));
   }
   const sim::Duration period = std::max<sim::Duration>(

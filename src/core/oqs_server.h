@@ -17,7 +17,6 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -103,7 +102,10 @@ class OqsServer {
   rpc::QrpcEngine engine_;
 
   store::ObjectStore store_;  // value_o
-  std::unordered_map<ObjectId, std::map<NodeId, PerIqsObj>> obj_state_;
+  // Ordered, not hashed: per-IQS state is walked by reply_to_read, and a
+  // hash-ordered walk would tie behaviour to the standard-library
+  // implementation (dqlint rule `det-unordered-container`).
+  std::map<ObjectId, std::map<NodeId, PerIqsObj>> obj_state_;
   std::map<std::pair<VolumeId, NodeId>, PerIqsVol> vol_state_;
   std::map<std::uint64_t, PendingRead> pending_;
   std::uint64_t next_pending_ = 1;

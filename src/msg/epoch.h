@@ -1,0 +1,32 @@
+// Shared lease-epoch comparison helpers.
+//
+// Epochs garbage-collect delayed-invalidation queues (iqs_server.h): an IQS
+// node advances epoch[v][j] to declare every object lease j obtained under
+// the old epoch dead.  Correctness therefore hinges on every epoch
+// comparison meaning exactly the same thing on both sides of the protocol,
+// so raw `==` / `<` / `std::max` on epoch fields is forbidden in protocol
+// code (dqlint rule `proto-epoch-compare`); these helpers are the one
+// sanctioned spelling.
+#pragma once
+
+#include "msg/wire.h"
+
+namespace dq::msg {
+
+// Does a lease/grant issued under epoch `held` still count under the
+// grantor's current epoch `current`?  Epochs only ever advance, so validity
+// is exact equality -- a stale epoch can never "catch up".
+[[nodiscard]] constexpr bool epoch_matches(Epoch held, Epoch current) {
+  return held == current;
+}
+
+// Is `a` a strictly later epoch than `b`?
+[[nodiscard]] constexpr bool epoch_newer(Epoch a, Epoch b) { return a > b; }
+
+// The later of two epochs (replaces std::max on epoch fields, which the
+// linter cannot distinguish from accidental clock/duration max'ing).
+[[nodiscard]] constexpr Epoch epoch_max(Epoch a, Epoch b) {
+  return epoch_newer(a, b) ? a : b;
+}
+
+}  // namespace dq::msg

@@ -1,6 +1,7 @@
 #include "protocols/rowa_async.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -77,8 +78,7 @@ void RowaAsyncServer::handle(const sim::Envelope& env) {
   } else if (const auto* m = std::get_if<msg::AeDigest>(&env.body)) {
     // Send back everything newer than (or absent from) the digest.
     msg::AeUpdates out;
-    std::unordered_map<ObjectId, LogicalClock> theirs;
-    theirs.reserve(m->entries.size());
+    std::map<ObjectId, LogicalClock> theirs;
     for (const auto& [o, lc] : m->entries) theirs.emplace(o, lc);
     for (const auto& [o, lc] : store_.digest()) {
       auto it = theirs.find(o);

@@ -25,6 +25,8 @@ class DriftClock {
 
   // Random clock within the drift envelope: rate in [1-maxDrift, 1+maxDrift],
   // offset in [0, maxOffset].
+  // dqlint:allow(det-rand): deterministic factory driven by the seeded
+  // dq::Rng passed in; shares a name with libc random() but never reads it.
   static DriftClock random(Rng& rng, double max_drift, Duration max_offset) {
     const double rate = 1.0 + max_drift * (2.0 * rng.uniform() - 1.0);
     const auto offset = static_cast<Duration>(

@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -82,7 +82,11 @@ class ObjectStore {
   void clear() { data_.clear(); }
 
  private:
-  std::unordered_map<ObjectId, VersionedValue> data_;
+  // Ordered on purpose: digest() feeds anti-entropy messages and the volume
+  // bulk-fetch walks this map, so iteration order is on the wire.  An
+  // unordered map would tie message contents to the hash implementation
+  // (dqlint rule `det-unordered-container`).
+  std::map<ObjectId, VersionedValue> data_;
 };
 
 }  // namespace dq::store

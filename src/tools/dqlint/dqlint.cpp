@@ -1,0 +1,160 @@
+// dqlint CLI.
+//
+//   dqlint [--root=DIR] [--json=PATH] [--list-rules] [FILE...]
+//
+// Default mode walks `<root>/src` (root defaults to ".") over *.h/*.cpp in
+// sorted path order -- output is deterministic, like everything else here --
+// applying each rule's directory scope.  Explicit FILE arguments lint just
+// those files with every rule active (scope-free; used by fixture tooling).
+// `src/tools/` is excluded from the walk: the linter's own sources
+// necessarily spell out every forbidden identifier and the directive syntax.
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/dqlint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage() {
+  std::cerr << "usage: dqlint [--root=DIR] [--json=PATH] [--list-rules]"
+               " [FILE...]\n";
+  return 2;
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  bool list_rules = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dqlint: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const dq::lint::RuleInfo& r : dq::lint::rules()) {
+      std::cout << r.id << "\n  " << r.description << "\n  scope: ";
+      if (r.prefixes.empty()) {
+        std::cout << "all scanned files";
+      } else {
+        for (std::size_t i = 0; i < r.prefixes.size(); ++i) {
+          std::cout << (i != 0 ? ", " : "") << r.prefixes[i];
+        }
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  dq::lint::RunReport report;
+  std::string scanned_root;
+
+  if (!files.empty()) {
+    // Explicit-file mode: every rule active, paths reported as given.
+    scanned_root = "<files>";
+    for (const std::string& f : files) {
+      std::string content;
+      if (!read_file(f, &content)) {
+        std::cerr << "dqlint: cannot read " << f << "\n";
+        return 2;
+      }
+      report.add(dq::lint::lint_source(f, content, /*apply_scopes=*/false));
+    }
+  } else {
+    scanned_root = root;
+    const fs::path src = fs::path(root) / "src";
+    std::error_code ec;
+    if (!fs::is_directory(src, ec)) {
+      std::cerr << "dqlint: no src/ directory under " << root << "\n";
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() &&
+          it->path().filename() == "tools") {  // linter does not lint itself
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        paths.push_back(it->path());
+      }
+    }
+    std::vector<std::pair<std::string, fs::path>> rel;
+    rel.reserve(paths.size());
+    for (const fs::path& p : paths) {
+      rel.emplace_back(fs::relative(p, root).generic_string(), p);
+    }
+    std::sort(rel.begin(), rel.end());
+    for (const auto& [rpath, p] : rel) {
+      std::string content;
+      if (!read_file(p, &content)) {
+        std::cerr << "dqlint: cannot read " << p << "\n";
+        return 2;
+      }
+      report.add(
+          dq::lint::lint_source(rpath, content, /*apply_scopes=*/true));
+    }
+  }
+
+  for (const dq::lint::Diagnostic& d : report.diagnostics) {
+    std::cout << d.file << ":" << d.line << ": " << d.rule << ": " << d.message
+              << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "dqlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << dq::lint::to_json(report, scanned_root) << "\n";
+  }
+
+  std::cout << "dqlint: " << report.files_scanned << " files, "
+            << report.diagnostics.size() << " diagnostics, "
+            << report.suppressions.size() << " suppressions\n";
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,713 @@
+#include "tools/dqlint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+namespace dq::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: C++ source -> token stream + comment list.  Comments and literal
+// contents are kept out of the token stream so rules never fire on prose;
+// comments are retained separately because they carry suppression
+// directives.
+// ---------------------------------------------------------------------------
+
+enum class Tok : std::uint8_t { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  Tok kind;
+  std::string text;  // literal tokens keep only a marker, not their contents
+  int line;
+};
+
+struct Comment {
+  int line;  // line the comment starts on
+  std::string text;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Raw-string opener at position i ( (u8|u|U|L)?R" )?  Returns prefix length
+// up to and including the quote, or 0.
+std::size_t raw_string_prefix(std::string_view s, std::size_t i) {
+  for (std::string_view p : {"R\"", "u8R\"", "uR\"", "UR\"", "LR\""}) {
+    if (s.substr(i, p.size()) == p) return p.size();
+  }
+  return 0;
+}
+
+Lexed lex(const std::string& content) {
+  Lexed out;
+  const std::string_view s = content;
+  std::size_t i = 0;
+  int line = 1;
+
+  // Longest-match punctuation (3-char, then 2-char, then single).
+  static constexpr std::array<std::string_view, 5> kPunct3 = {
+      "<<=", ">>=", "<=>", "...", "->*"};
+  static constexpr std::array<std::string_view, 19> kPunct2 = {
+      "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+      "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|="};
+
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const std::size_t eol = s.find('\n', i);
+      const std::size_t end = eol == std::string_view::npos ? s.size() : eol;
+      out.comments.push_back({line, std::string(s.substr(i + 2, end - i - 2))});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back(
+          {start_line, std::string(s.substr(i + 2, j - i - 2))});
+      i = j + 2 <= s.size() ? j + 2 : s.size();
+      continue;
+    }
+    if (const std::size_t pfx = raw_string_prefix(s, i); pfx != 0) {
+      // R"delim( ... )delim"
+      std::size_t j = i + pfx;
+      std::string delim;
+      while (j < s.size() && s[j] != '(') delim += s[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = s.find(closer, j);
+      const std::size_t stop =
+          end == std::string_view::npos ? s.size() : end + closer.size();
+      out.tokens.push_back({Tok::kString, "\"\"", line});
+      for (std::size_t k = i; k < stop; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < s.size()) ++j;
+        if (s[j] == '\n') ++line;  // unterminated literals: keep line counts
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? Tok::kString : Tok::kChar,
+           quote == '"' ? "\"\"" : "''", line});
+      i = j < s.size() ? j + 1 : s.size();
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, std::string(s.substr(i, j - i)),
+                            line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < s.size()) {
+        const char d = s[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                    s[j - 1] == 'P')) {
+          ++j;  // exponent sign, e.g. 0x1.0p-53
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::kNumber, std::string(s.substr(i, j - i)),
+                            line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::size_t len = 1;
+    for (std::string_view p : kPunct3) {
+      if (s.substr(i, 3) == p) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (std::string_view p : kPunct2) {
+        if (s.substr(i, 2) == p) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({Tok::kPunct, std::string(s.substr(i, len)), line});
+    i += len;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+// Directories whose code feeds the deterministic simulation schedule.
+const std::vector<std::string> kDetScope = {
+    "src/sim/", "src/core/", "src/protocols/",
+    "src/quorum/", "src/rpc/", "src/store/", "src/msg/"};
+
+const char* kRuleDetUnordered = "det-unordered-container";
+const char* kRuleDetRand = "det-rand";
+const char* kRuleDetWallClock = "det-wall-clock";
+const char* kRuleDetRandomDevice = "det-random-device";
+const char* kRuleDetRngEngine = "det-rng-engine";
+const char* kRuleDetPtrKey = "det-ptr-key";
+const char* kRuleProtoDirectSend = "proto-direct-send";
+const char* kRuleProtoEpochCompare = "proto-epoch-compare";
+const char* kRuleProtoObsRead = "proto-obs-read";
+const char* kRuleHygAssert = "hyg-assert";
+const char* kRuleHygNakedNew = "hyg-naked-new";
+const char* kRuleBadSuppression = "lint-bad-suppression";
+const char* kRuleUnusedSuppression = "lint-unused-suppression";
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kRuleDetUnordered,
+       "std::unordered_* containers: iteration order is implementation-"
+       "defined, so any walk puts hash order on the wire or in the schedule;"
+       " use std::map/std::set",
+       kDetScope,
+       {}},
+      {kRuleDetRand,
+       "libc rand/random family: unseeded global state outside the "
+       "experiment seed; draw from dq::Rng",
+       kDetScope,
+       {}},
+      {kRuleDetWallClock,
+       "wall-clock read (time/clock/gettimeofday/system_clock/...): real "
+       "time breaks simulation determinism; use sim::World::now() or "
+       "local_now()",
+       kDetScope,
+       {}},
+      {kRuleDetRandomDevice,
+       "std::random_device is non-deterministic by design; seed dq::Rng "
+       "from the experiment seed",
+       kDetScope,
+       {}},
+      {kRuleDetRngEngine,
+       "std <random> engine or unseeded Rng(): default seeding hides the "
+       "stream from the experiment seed; all randomness flows through a "
+       "seeded dq::Rng (split() for child streams)",
+       kDetScope,
+       {}},
+      {kRuleDetPtrKey,
+       "pointer-keyed ordered container: iteration order follows allocation "
+       "addresses, which differ run to run; key by a strong id instead",
+       kDetScope,
+       {}},
+      {kRuleProtoDirectSend,
+       "direct world_.send/send_tagged in a dual-quorum server: replies "
+       "must route through world_.reply or the QRPC engine so retransmission "
+       "and reply accounting stay correct",
+       {"src/core/"},
+       {}},
+      {kRuleProtoEpochCompare,
+       "raw comparison/max on an epoch field: use msg::epoch_matches/"
+       "epoch_newer/epoch_max (msg/epoch.h) so both protocol sides agree on "
+       "epoch semantics",
+       {"src/core/", "src/protocols/"},
+       {}},
+      {kRuleProtoObsRead,
+       "obs/ instrument read (m_*->value/max/data) in protocol code: "
+       "metrics are write-only in decision paths, else observability "
+       "perturbs the protocol",
+       {"src/core/", "src/protocols/", "src/rpc/"},
+       {}},
+      {kRuleHygAssert,
+       "assert()/<cassert> vanishes under NDEBUG; protocol invariants use "
+       "the always-on DQ_INVARIANT (common/assert.h)",
+       {},
+       {"src/common/assert.h"}},
+      {kRuleHygNakedNew,
+       "naked new/delete in protocol code; own memory with std::unique_ptr/"
+       "std::make_shared",
+       {"src/core/", "src/protocols/", "src/rpc/", "src/quorum/"},
+       {}},
+      {kRuleBadSuppression,
+       "malformed dqlint:allow directive (unknown rule id or missing "
+       "': justification')",
+       {},
+       {}},
+      {kRuleUnusedSuppression,
+       "dqlint:allow directive that suppresses nothing; delete it",
+       {},
+       {}},
+  };
+  return kRules;
+}
+
+namespace {
+
+bool known_rule(const std::string& id) {
+  const auto& rs = rules();
+  return std::any_of(rs.begin(), rs.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+bool rule_active(const RuleInfo& r, const std::string& path,
+                 bool apply_scopes) {
+  if (!apply_scopes) return true;
+  for (const std::string& f : r.exempt_files) {
+    if (path == f) return false;
+  }
+  if (r.prefixes.empty()) return true;
+  return std::any_of(r.prefixes.begin(), r.prefixes.end(),
+                     [&](const std::string& p) {
+                       return path.compare(0, p.size(), p) == 0;
+                     });
+}
+
+const RuleInfo* find_rule(const char* id) {
+  for (const RuleInfo& r : rules()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+struct Matcher {
+  const std::vector<Token>& t;
+
+  [[nodiscard]] const Token* at(std::size_t i) const {
+    return i < t.size() ? &t[i] : nullptr;
+  }
+  [[nodiscard]] bool text_is(std::size_t i, std::string_view s) const {
+    const Token* tok = at(i);
+    return tok != nullptr && tok->text == s;
+  }
+  [[nodiscard]] bool ident_is(std::size_t i, std::string_view s) const {
+    const Token* tok = at(i);
+    return tok != nullptr && tok->kind == Tok::kIdent && tok->text == s;
+  }
+
+  // Member access (x.f / x->f) is never a libc call; a qualified name is
+  // only suspect when the qualifier is std:: or the global ::.
+  [[nodiscard]] bool non_libc_qualified(std::size_t i) const {
+    if (i == 0) return false;
+    const Token& p = t[i - 1];
+    if (p.text == "." || p.text == "->") return true;
+    if (p.text == "::" && i >= 2 && t[i - 2].kind == Tok::kIdent &&
+        t[i - 2].text != "std") {
+      return true;
+    }
+    return false;
+  }
+};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool epochish(const Token& tok) {
+  return tok.kind == Tok::kIdent &&
+         (tok.text == "epoch" || ends_with(tok.text, "_epoch"));
+}
+
+bool comparison(const Token* tok) {
+  if (tok == nullptr || tok->kind != Tok::kPunct) return false;
+  static const std::set<std::string_view> kCmp = {"==", "!=", "<",
+                                                  ">",  "<=", ">="};
+  return kCmp.count(tok->text) != 0;
+}
+
+// Raw (pre-suppression) violations for one file.
+std::vector<Diagnostic> run_rules(const std::string& path,
+                                  const std::vector<Token>& tokens,
+                                  bool apply_scopes) {
+  std::vector<Diagnostic> out;
+  const Matcher m{tokens};
+  auto active = [&](const char* id) {
+    const RuleInfo* r = find_rule(id);
+    return r != nullptr && rule_active(*r, path, apply_scopes);
+  };
+  auto flag = [&](const char* id, int line, const std::string& what) {
+    const RuleInfo* r = find_rule(id);
+    out.push_back({path, line, id, what + " [" + r->description + "]"});
+  };
+
+  static const std::set<std::string_view> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static const std::set<std::string_view> kRandCalls = {
+      "rand",    "srand",   "rand_r",  "random", "srandom",
+      "drand48", "lrand48", "mrand48", "erand48"};
+  static const std::set<std::string_view> kClockCalls = {
+      "time",  "clock",    "gettimeofday", "clock_gettime", "localtime",
+      "gmtime", "mktime",  "difftime",     "timespec_get",  "ftime"};
+  static const std::set<std::string_view> kClockTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  static const std::set<std::string_view> kEngines = {
+      "mt19937",      "mt19937_64",   "default_random_engine",
+      "minstd_rand",  "minstd_rand0", "ranlux24",
+      "ranlux48",     "knuth_b"};
+  static const std::set<std::string_view> kOrdered = {"map", "set", "multimap",
+                                                      "multiset"};
+  static const std::set<std::string_view> kObsReads = {"value", "max", "data"};
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != Tok::kIdent) continue;
+    const bool calls = m.text_is(i + 1, "(");
+
+    if (active(kRuleDetUnordered) && kUnordered.count(tok.text) != 0) {
+      flag(kRuleDetUnordered, tok.line, "std::" + tok.text);
+    }
+    if (active(kRuleDetRand) && calls && kRandCalls.count(tok.text) != 0 &&
+        !m.non_libc_qualified(i)) {
+      flag(kRuleDetRand, tok.line, tok.text + "()");
+    }
+    if (active(kRuleDetWallClock)) {
+      if (calls && kClockCalls.count(tok.text) != 0 &&
+          !m.non_libc_qualified(i)) {
+        flag(kRuleDetWallClock, tok.line, tok.text + "()");
+      } else if (kClockTypes.count(tok.text) != 0) {
+        flag(kRuleDetWallClock, tok.line, "std::chrono::" + tok.text);
+      }
+    }
+    if (active(kRuleDetRandomDevice) && tok.text == "random_device") {
+      flag(kRuleDetRandomDevice, tok.line, "std::random_device");
+    }
+    if (active(kRuleDetRngEngine)) {
+      if (kEngines.count(tok.text) != 0) {
+        flag(kRuleDetRngEngine, tok.line, "std::" + tok.text);
+      } else if (tok.text == "Rng" && calls && m.text_is(i + 2, ")")) {
+        flag(kRuleDetRngEngine, tok.line, "Rng() with the default seed");
+      }
+    }
+    if (active(kRuleDetPtrKey) && kOrdered.count(tok.text) != 0 &&
+        m.text_is(i + 1, "<")) {
+      // Walk the first template argument; a trailing '*' means the key is a
+      // pointer.  Bail out on anything that suggests `<` was a comparison.
+      int depth = 1;
+      const Token* last = nullptr;
+      bool aborted = false;
+      for (std::size_t j = i + 2, steps = 0; steps < 64; ++j, ++steps) {
+        const Token* u = m.at(j);
+        if (u == nullptr) {
+          aborted = true;
+          break;
+        }
+        if (u->text == "<") {
+          ++depth;
+        } else if (u->text == ">" || u->text == ">>") {
+          depth -= u->text == ">>" ? 2 : 1;
+          if (depth <= 0) break;
+        } else if (u->text == "," && depth == 1) {
+          break;
+        } else if (u->text == ";" || u->text == "{" || u->text == ")") {
+          aborted = true;
+          break;
+        }
+        last = u;
+      }
+      if (!aborted && last != nullptr && last->text == "*") {
+        flag(kRuleDetPtrKey, tok.line, "std::" + tok.text + "<T*, ...>");
+      }
+    }
+    if (active(kRuleProtoDirectSend) && tok.text == "world_" &&
+        (m.text_is(i + 1, ".") || m.text_is(i + 1, "->")) &&
+        (m.ident_is(i + 2, "send") || m.ident_is(i + 2, "send_tagged")) &&
+        m.text_is(i + 3, "(")) {
+      flag(kRuleProtoDirectSend, tok.line,
+           "world_." + tokens[i + 2].text + "()");
+    }
+    if (active(kRuleProtoEpochCompare)) {
+      if (epochish(tok) &&
+          (comparison(m.at(i + 1)) || (i > 0 && comparison(&tokens[i - 1])))) {
+        flag(kRuleProtoEpochCompare, tok.line,
+             "'" + tok.text + "' beside a comparison operator");
+      } else if ((tok.text == "max" || tok.text == "min") &&
+                 m.text_is(i + 1, "(")) {
+        int depth = 0;
+        for (std::size_t j = i + 1, steps = 0; steps < 48; ++j, ++steps) {
+          const Token* u = m.at(j);
+          if (u == nullptr) break;
+          if (u->text == "(") ++depth;
+          if (u->text == ")" && --depth == 0) break;
+          if (epochish(*u)) {
+            flag(kRuleProtoEpochCompare, u->line,
+                 "std::" + tok.text + "() over '" + u->text + "'");
+            break;
+          }
+        }
+      }
+    }
+    if (active(kRuleProtoObsRead) && tok.text.compare(0, 2, "m_") == 0 &&
+        (m.text_is(i + 1, "->") || m.text_is(i + 1, ".")) &&
+        m.at(i + 2) != nullptr && kObsReads.count(tokens[i + 2].text) != 0 &&
+        m.text_is(i + 3, "(")) {
+      flag(kRuleProtoObsRead, tok.line,
+           tok.text + tokens[i + 1].text + tokens[i + 2].text + "()");
+    }
+    if (active(kRuleHygAssert)) {
+      if (tok.text == "assert" && calls && !m.non_libc_qualified(i)) {
+        flag(kRuleHygAssert, tok.line, "assert()");
+      } else if (tok.text == "cassert") {
+        flag(kRuleHygAssert, tok.line, "#include <cassert>");
+      }
+    }
+    if (active(kRuleHygNakedNew) &&
+        (tok.text == "new" || tok.text == "delete")) {
+      // `operator new/delete` declarations and `= delete;`d functions are
+      // not allocations.
+      const bool exempt =
+          (i > 0 && tokens[i - 1].text == "operator") ||
+          (tok.text == "delete" && i > 0 && tokens[i - 1].text == "=");
+      if (!exempt) flag(kRuleHygNakedNew, tok.line, tok.text);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+struct Directive {
+  int line = 0;  // comment line
+  std::vector<std::string> rule_ids;
+  std::string justification;
+  bool used = false;
+};
+
+std::string trim(std::string s) {
+  const auto issp = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && issp(s.front())) s.erase(s.begin());
+  while (!s.empty() && issp(s.back())) s.pop_back();
+  return s;
+}
+
+// Parse every dqlint:allow(...) in the comment list.  Malformed directives
+// become lint-bad-suppression diagnostics immediately.
+std::vector<Directive> parse_directives(const std::string& path,
+                                        const std::vector<Comment>& comments,
+                                        std::vector<Diagnostic>* bad) {
+  std::vector<Directive> out;
+  static const std::string kKey = "dqlint:allow(";
+  for (const Comment& c : comments) {
+    std::size_t pos = 0;
+    while ((pos = c.text.find(kKey, pos)) != std::string::npos) {
+      const std::size_t open = pos + kKey.size();
+      const std::size_t close = c.text.find(')', open);
+      pos = open;
+      if (close == std::string::npos) {
+        bad->push_back({path, c.line, kRuleBadSuppression,
+                        "unterminated dqlint:allow( directive"});
+        continue;
+      }
+      Directive d;
+      d.line = c.line;
+      std::string ids = c.text.substr(open, close - open);
+      bool ok = true;
+      std::size_t start = 0;
+      while (start <= ids.size()) {
+        const std::size_t comma = ids.find(',', start);
+        const std::string id = trim(
+            ids.substr(start, comma == std::string::npos ? std::string::npos
+                                                         : comma - start));
+        if (!id.empty()) {
+          if (!known_rule(id)) {
+            bad->push_back({path, c.line, kRuleBadSuppression,
+                            "unknown rule '" + id + "' in dqlint:allow"});
+            ok = false;
+          }
+          d.rule_ids.push_back(id);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      // Justification: everything after "): " up to end of line (multi-line
+      // block comments: up to the first newline).
+      std::string rest = c.text.substr(close + 1);
+      if (const std::size_t nl = rest.find('\n'); nl != std::string::npos) {
+        rest = rest.substr(0, nl);
+      }
+      rest = trim(rest);
+      if (rest.empty() || rest[0] != ':' || trim(rest.substr(1)).empty()) {
+        bad->push_back({path, c.line, kRuleBadSuppression,
+                        "dqlint:allow needs a ': justification'"});
+        ok = false;
+      } else {
+        d.justification = trim(rest.substr(1));
+      }
+      if (ok && d.rule_ids.empty()) {
+        bad->push_back({path, c.line, kRuleBadSuppression,
+                        "dqlint:allow() names no rule"});
+        ok = false;
+      }
+      if (ok) out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FileReport lint_source(const std::string& path, const std::string& content,
+                       bool apply_scopes) {
+  FileReport fr;
+  const Lexed lexed = lex(content);
+  std::vector<Diagnostic> raw = run_rules(path, lexed.tokens, apply_scopes);
+  std::vector<Directive> directives =
+      parse_directives(path, lexed.comments, &fr.diagnostics);
+
+  // A directive covers its own line plus the next line that carries code
+  // (so a wrapped justification comment still anchors to the statement
+  // below it).
+  std::set<int> code_lines;
+  for (const Token& t : lexed.tokens) code_lines.insert(t.line);
+  std::set<int> comment_lines;
+  for (const Comment& c : lexed.comments) comment_lines.insert(c.line);
+  auto covers = [&](const Directive& d, int line) {
+    if (line == d.line) return true;
+    auto it = code_lines.upper_bound(d.line);
+    return it != code_lines.end() && *it == line;
+  };
+
+  for (Diagnostic& d : raw) {
+    Directive* match = nullptr;
+    for (Directive& dir : directives) {
+      if (covers(dir, d.line) &&
+          std::find(dir.rule_ids.begin(), dir.rule_ids.end(), d.rule) !=
+              dir.rule_ids.end()) {
+        match = &dir;
+        break;
+      }
+    }
+    if (match != nullptr) {
+      match->used = true;
+      fr.suppressions.push_back(
+          {d.file, match->line, d.rule, match->justification});
+    } else {
+      fr.diagnostics.push_back(std::move(d));
+    }
+  }
+  for (const Directive& dir : directives) {
+    if (!dir.used) {
+      fr.diagnostics.push_back(
+          {path, dir.line, kRuleUnusedSuppression,
+           "dqlint:allow(" + dir.rule_ids.front() +
+               ") suppresses nothing on its line or the next code line"});
+    }
+  }
+  std::sort(fr.diagnostics.begin(), fr.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return fr;
+}
+
+// ---------------------------------------------------------------------------
+// dq.lint.v1 rendering (same minimal-JSON idiom as workload/report.cpp)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += c == '\n' ? "\\n" : " ";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const RunReport& report, const std::string& root) {
+  std::string out = "{";
+  out += "\"schema\":\"dq.lint.v1\"";
+  out += ",\"root\":\"" + esc(root) + "\"";
+  out += ",\"files_scanned\":" + std::to_string(report.files_scanned);
+  out += ",\"clean\":";
+  out += report.clean() ? "true" : "false";
+
+  out += ",\"rules\":[";
+  bool first = true;
+  for (const RuleInfo& r : rules()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"" + esc(r.id) + "\",\"description\":\"" +
+           esc(r.description) + "\",\"scopes\":[";
+    for (std::size_t i = 0; i < r.prefixes.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + esc(r.prefixes[i]) + "\"";
+    }
+    out += "]}";
+  }
+  out += "]";
+
+  out += ",\"diagnostics\":[";
+  first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"file\":\"" + esc(d.file) + "\",\"line\":" +
+           std::to_string(d.line) + ",\"rule\":\"" + esc(d.rule) +
+           "\",\"message\":\"" + esc(d.message) + "\"}";
+  }
+  out += "]";
+
+  out += ",\"suppressions\":[";
+  first = true;
+  for (const Suppression& s : report.suppressions) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"file\":\"" + esc(s.file) + "\",\"line\":" +
+           std::to_string(s.line) + ",\"rule\":\"" + esc(s.rule) +
+           "\",\"justification\":\"" + esc(s.justification) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dq::lint

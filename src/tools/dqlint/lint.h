@@ -1,0 +1,104 @@
+// dqlint: determinism & protocol-correctness static analysis for this repo.
+//
+// The simulator's headline guarantee -- every experiment is a pure function
+// of its seed, bit-for-bit -- and DQVL's regular semantics are properties no
+// unit test can defend against future edits: one `unordered_map` walk or one
+// `std::rand()` call in a protocol file silently breaks them.  dqlint is the
+// guardrail: a token-level analyzer (comments and string literals stripped,
+// so prose mentioning `rand()` never fires) that enforces three rule
+// families over the source tree:
+//
+//   det-*    determinism: no hash-ordered container state, no wall clocks,
+//            no libc/std randomness, no pointer-keyed ordering.
+//   proto-*  protocol correctness: replies route through QRPC/reply paths,
+//            epoch comparisons use msg/epoch.h helpers, obs/ instruments
+//            are never read in decision paths.
+//   hyg-*    hygiene: DQ_INVARIANT instead of assert(), no naked new/delete
+//            in protocol code.
+//
+// Every rule is scoped to the directories where its property matters (see
+// rules() below) and can be suppressed per-site with a justified comment:
+//
+//   // dqlint:allow(rule-id): one-line justification
+//
+// which covers the comment's own line and the next line carrying code.  An
+// unjustified, unknown, or unused suppression is itself a diagnostic, so
+// the suppression inventory stays honest.
+//
+// The library half (this header + lint.cpp) is what tests/dqlint_test.cpp
+// exercises against the fixture corpus; dqlint.cpp wraps it in a CLI that
+// walks `<root>/src`, prints `file:line: rule-id: message` diagnostics, and
+// emits a `dq.lint.v1` JSON report next to the existing `dq.report.v1` /
+// `dq.bench.v1` envelopes (validated by tools/check_metrics_schema.py).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dq::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Suppression {
+  std::string file;
+  int line = 0;  // line of the dqlint:allow comment
+  std::string rule;
+  std::string justification;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string description;
+  // Path prefixes (relative to the scan root, '/'-separated) the rule
+  // applies to; empty = every scanned file.
+  std::vector<std::string> prefixes;
+  // Exact relative paths exempt from the rule (e.g. the one file allowed
+  // to define assertion macros).
+  std::vector<std::string> exempt_files;
+};
+
+// The full rule table, in stable order (also the JSON "rules" array).
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+// Result of linting one translation unit.
+struct FileReport {
+  std::vector<Diagnostic> diagnostics;    // unsuppressed violations
+  std::vector<Suppression> suppressions;  // violations silenced with a reason
+};
+
+// Lint one source text.  `path` is used both for reporting and -- when
+// `apply_scopes` is true -- for matching rule prefixes, so pass it relative
+// to the scan root ('/'-separated).  With `apply_scopes` false every rule
+// runs regardless of location (fixture/test mode).
+[[nodiscard]] FileReport lint_source(const std::string& path,
+                                     const std::string& content,
+                                     bool apply_scopes);
+
+// Aggregate over a whole run; rendered as dq.lint.v1 by to_json().
+struct RunReport {
+  std::size_t files_scanned = 0;
+  std::vector<Diagnostic> diagnostics;
+  std::vector<Suppression> suppressions;
+
+  void add(const FileReport& fr) {
+    ++files_scanned;
+    diagnostics.insert(diagnostics.end(), fr.diagnostics.begin(),
+                       fr.diagnostics.end());
+    suppressions.insert(suppressions.end(), fr.suppressions.begin(),
+                        fr.suppressions.end());
+  }
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+};
+
+// The dq.lint.v1 JSON document (no trailing newline).  `root` names what
+// was scanned (a directory or "<files>" for explicit-file runs).
+[[nodiscard]] std::string to_json(const RunReport& report,
+                                  const std::string& root);
+
+}  // namespace dq::lint

@@ -28,20 +28,6 @@ std::vector<Protocol> paper_protocols() {
           Protocol::kRowa, Protocol::kRowaAsync};
 }
 
-QuorumSpec ExperimentParams::resolved_iqs() const {
-  // Deprecated flat fields win when set, so pre-redesign call sites that
-  // still assign iqs_size / iqs_grid_* keep their exact meaning.
-  if (iqs_grid_rows > 0 || iqs_grid_cols > 0) {
-    DQ_INVARIANT(iqs_grid_rows > 0 && iqs_grid_cols > 0,
-                 "iqs_grid_rows and iqs_grid_cols must both be set");
-    DQ_INVARIANT(iqs_size == 0 || iqs_size == iqs_grid_rows * iqs_grid_cols,
-                 "iqs_grid dimensions must cover iqs_size");
-    return QuorumSpec::grid(iqs_grid_rows, iqs_grid_cols);
-  }
-  if (iqs_size > 0) return QuorumSpec::majority(iqs_size);
-  return iqs;
-}
-
 Deployment::Deployment(const ExperimentParams& params) : params_(params) {
   world_ = std::make_unique<sim::World>(sim::Topology(params_.topo),
                                         params_.seed);
@@ -125,7 +111,7 @@ AppClient::Params Deployment::client_params() const {
 
 void Deployment::build_dqvl() {
   const auto& topo = world_->topology();
-  const QuorumSpec spec = params_.resolved_iqs();
+  const QuorumSpec& spec = params_.iqs;
   DQ_INVARIANT(spec.size() >= 1 && spec.size() <= topo.num_servers(),
                "IQS spec size out of range");
 

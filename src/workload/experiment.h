@@ -53,8 +53,7 @@ struct ExperimentParams {
   // Dual-quorum knobs.
   // IQS shape and size: the first iqs.size() servers form the IQS.
   // QuorumSpec::majority(n) is the paper's configuration; grid(r, c) is the
-  // section-6 "future work" ablation (one validated type instead of the old
-  // iqs_size / iqs_grid_rows / iqs_grid_cols trio).
+  // section-6 "future work" ablation.
   QuorumSpec iqs = QuorumSpec::majority(5);
   // |orq|: 1 is the paper's headline (local reads); larger read quorums
   // shrink the OQS write quorum (paper section 6 "future work" ablation).
@@ -62,13 +61,6 @@ struct ExperimentParams {
   sim::Duration lease_length = sim::seconds(10);
   // Object leases (paper footnote 4): kTimeInfinity = callbacks (default).
   sim::Duration object_lease_length = sim::kTimeInfinity;
-  // DEPRECATED migration shim (kept one PR): the old flat IQS fields.  0
-  // means "unset, use `iqs`"; non-zero values win over `iqs` so existing
-  // call sites keep their meaning.  resolved_iqs() folds both forms.
-  std::size_t iqs_size = 0;
-  std::size_t iqs_grid_rows = 0;
-  std::size_t iqs_grid_cols = 0;
-  [[nodiscard]] QuorumSpec resolved_iqs() const;
   std::size_t num_volumes = 1;
   std::size_t max_delayed_per_volume = 64;  // epoch-GC bound
   double max_drift = 0.0;

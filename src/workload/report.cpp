@@ -83,7 +83,7 @@ std::string to_json(const ExperimentParams& params,
   out += ",\"protocol\":\"" + esc(protocol_name(params.protocol)) + "\"";
 
   out += ",\"config\":{";
-  out += "\"iqs\":\"" + esc(params.resolved_iqs().describe()) + "\"";
+  out += "\"iqs\":\"" + esc(params.iqs.describe()) + "\"";
   out += ",\"oqs_read_quorum\":" + num(std::uint64_t(params.oqs_read_quorum));
   out += ",\"servers\":" + num(std::uint64_t(params.topo.num_servers));
   out += ",\"clients\":" + num(std::uint64_t(params.topo.num_clients));

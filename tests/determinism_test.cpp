@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "workload/experiment.h"
+#include "workload/report.h"
 
 namespace dq::workload {
 namespace {
@@ -62,6 +63,28 @@ TEST(Determinism, EveryProtocolIsDeterministic) {
     EXPECT_DOUBLE_EQ(a.all_ms.mean(), b.all_ms.mean())
         << protocol_name(proto);
   }
+}
+
+// The strongest form of the guarantee: not just equal aggregates, but a
+// byte-identical dq.report.v1 document -- every counter, histogram bucket,
+// and per-node load cell -- from two independently constructed worlds.
+// This is exactly what dqlint's det-* rules defend: one hash-ordered walk
+// or wall-clock read anywhere in the pipeline and these strings diverge.
+TEST(Determinism, ReportJsonIsByteIdenticalAcrossWorlds) {
+  const ExperimentParams p = adversarial(31337);
+  const auto a = run_experiment(p);
+  const auto b = run_experiment(p);
+  const std::string ja = report::to_json(p, a);
+  const std::string jb = report::to_json(p, b);
+  ASSERT_FALSE(ja.empty());
+  EXPECT_EQ(ja, jb);
+}
+
+TEST(Determinism, ReportJsonDivergesAcrossSeeds) {
+  const auto a = run_experiment(adversarial(7));
+  const auto b = run_experiment(adversarial(8));
+  EXPECT_NE(report::to_json(adversarial(7), a),
+            report::to_json(adversarial(8), b));
 }
 
 }  // namespace

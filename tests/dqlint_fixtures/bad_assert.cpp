@@ -1,0 +1,7 @@
+// hyg-assert: NDEBUG-dependent assertions.
+#include <cassert>
+
+void check(int x) {
+  assert(x > 0);                        // fires (plus the include above)
+  static_assert(sizeof(int) >= 4);      // static_assert is fine
+}

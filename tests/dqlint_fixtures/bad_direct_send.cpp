@@ -1,0 +1,15 @@
+// proto-direct-send: raw world_.send / send_tagged egress.
+struct FakeWorld {
+  template <class... A> void send(A...) {}
+  template <class... A> void send_tagged(A...) {}
+  template <class... A> void reply(A...) {}
+};
+
+struct Server {
+  FakeWorld world_;
+  void go() {
+    world_.send(1, 2, 3);               // fires
+    world_.send_tagged(1, 2, 3, true);  // fires
+    world_.reply(1, 2);                 // reply path: does not fire
+  }
+};

@@ -1,0 +1,14 @@
+// proto-epoch-compare: raw comparisons and max() over epoch fields.
+#include <algorithm>
+
+struct Lease {
+  unsigned long epoch = 0;
+};
+
+bool check(const Lease& l, unsigned long vol_epoch, unsigned long cur) {
+  if (vol_epoch == cur) {                       // fires (raw ==)
+    return true;
+  }
+  unsigned long e = std::max(l.epoch, cur);     // fires (max over epoch)
+  return e > 1;
+}

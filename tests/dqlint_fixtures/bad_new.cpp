@@ -1,0 +1,11 @@
+// hyg-naked-new: manual memory management.
+struct Foo {
+  int x = 0;
+};
+
+int churn() {
+  Foo* p = new Foo();                   // fires
+  const int x = p->x;
+  delete p;                             // fires
+  return x;
+}

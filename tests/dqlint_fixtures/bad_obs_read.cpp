@@ -1,0 +1,14 @@
+// proto-obs-read: reading an instrument in a decision path.
+struct Counter {
+  [[nodiscard]] unsigned long value() const { return v_; }
+  void inc() { ++v_; }
+  unsigned long v_ = 0;
+};
+
+struct Server {
+  Counter* m_reads_ = nullptr;
+  bool throttled() const {
+    return m_reads_->value() > 100;     // fires
+  }
+  void record() { m_reads_->inc(); }    // writes are fine
+};

@@ -1,0 +1,10 @@
+// det-ptr-key: pointer-keyed ordered containers.
+#include <map>
+#include <set>
+
+struct Node;
+struct Event;
+
+std::map<Node*, int> by_node;             // fires
+std::set<const Event*> pending;           // fires
+std::map<std::pair<int, int>, Node*> ok;  // pointer VALUE is fine

@@ -1,0 +1,7 @@
+// det-rand: libc randomness.
+#include <cstdlib>
+
+int draw() {
+  srand(42);                            // fires
+  return rand();                        // fires
+}

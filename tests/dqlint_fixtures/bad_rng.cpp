@@ -1,0 +1,13 @@
+// det-rng-engine / det-random-device: std <random> machinery and
+// default-seeded Rng().
+#include <random>
+
+#include "common/rng.h"
+
+unsigned draw() {
+  std::random_device rd;                // fires det-random-device
+  std::mt19937 gen(rd());               // fires det-rng-engine
+  dq::Rng rng = dq::Rng();              // fires det-rng-engine (unseeded)
+  (void)rng;
+  return gen();
+}

@@ -1,0 +1,11 @@
+// Malformed or dead directives are themselves diagnostics.
+#include <cstdlib>
+
+// dqlint:allow(det-rand)
+int a() { return rand(); }              // missing ': justification'
+
+// dqlint:allow(not-a-rule): whatever
+int b() { return rand(); }              // unknown rule id
+
+// dqlint:allow(det-rand): nothing random happens on the next line
+int c() { return 7; }                   // unused suppression

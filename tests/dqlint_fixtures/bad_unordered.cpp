@@ -1,0 +1,6 @@
+// det-unordered-container: both declarations below must fire.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> table;     // fires
+std::unordered_set<int> members;        // fires

@@ -1,0 +1,10 @@
+// det-wall-clock: wall-clock reads.
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  const long t = time(nullptr);                            // fires
+  auto now = std::chrono::system_clock::now();             // fires
+  (void)now;
+  return t;
+}

@@ -1,0 +1,37 @@
+// Clean fixture: exercises the patterns dqlint must NOT flag, even with
+// every rule active (scope-free fixture mode).  Lint input only -- this file
+// is never compiled.
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/assert.h"
+#include "msg/epoch.h"
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;             // `= delete` is not a delete-expr
+  Widget& operator=(const Widget&) = delete;
+};
+
+void ok(int held, int cur) {
+  std::map<int, int> counts;                  // ordered container
+  std::set<int> ids;
+  auto w = std::make_unique<Widget>();        // no naked new
+  DQ_INVARIANT(held >= 0, "held epochs are non-negative");
+  if (dq::msg::epoch_matches(held, cur)) {    // helper, not a raw comparison
+    counts[held] = cur;
+  }
+  // Prose mentioning rand() or time() or unordered_map never fires: the
+  // lexer strips comments before rules run.
+  const char* s = "assert(rand()); std::unordered_map<int*, int> m;";
+  (void)s;
+  (void)w;
+  (void)ids;
+}
+
+void member_named_like_libc(Widget& w);
+struct Clocky {
+  int time_ms = 0;
+  [[nodiscard]] int local_time(int now) const { return now + time_ms; }
+};

@@ -1,0 +1,10 @@
+// A justified suppression silences the diagnostic and is recorded with its
+// justification; nothing in this file should surface as a diagnostic.  Note
+// the include needs its own directive: suppressions are per-site.
+
+// dqlint:allow(det-unordered-container): header backs the suppressed use below.
+#include <unordered_map>
+
+// dqlint:allow(det-unordered-container): lookup-only cache, never iterated,
+// so hash order cannot reach the wire or the event schedule.
+std::unordered_map<int, int> cache;

@@ -1,0 +1,203 @@
+// dqlint unit tests: every rule must fire on its bad fixture and stay quiet
+// on the clean one; suppression and scope semantics are pinned down here.
+//
+// Fixtures (tests/dqlint_fixtures/) are lint input only -- never compiled.
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tools/dqlint/lint.h"
+
+namespace dq::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(DQLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Lint a fixture with every rule active (scope-free mode).
+FileReport lint_fixture(const std::string& name) {
+  return lint_source(name, fixture(name), /*apply_scopes=*/false);
+}
+
+std::map<std::string, int> rule_counts(const FileReport& fr) {
+  std::map<std::string, int> out;
+  for (const Diagnostic& d : fr.diagnostics) ++out[d.rule];
+  return out;
+}
+
+TEST(DqlintRules, CleanFixtureIsClean) {
+  const FileReport fr = lint_fixture("clean.cpp");
+  EXPECT_TRUE(fr.diagnostics.empty())
+      << fr.diagnostics.front().file << ":" << fr.diagnostics.front().line
+      << ": " << fr.diagnostics.front().rule << ": "
+      << fr.diagnostics.front().message;
+  EXPECT_TRUE(fr.suppressions.empty());
+}
+
+TEST(DqlintRules, UnorderedContainers) {
+  // Two includes + two declarations.
+  const auto counts = rule_counts(lint_fixture("bad_unordered.cpp"));
+  EXPECT_EQ(counts.at("det-unordered-container"), 4);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, LibcRand) {
+  const auto counts = rule_counts(lint_fixture("bad_rand.cpp"));
+  EXPECT_EQ(counts.at("det-rand"), 2);  // srand + rand
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, WallClock) {
+  const auto counts = rule_counts(lint_fixture("bad_wall_clock.cpp"));
+  EXPECT_EQ(counts.at("det-wall-clock"), 2);  // time(nullptr) + system_clock
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, RngEngines) {
+  const auto counts = rule_counts(lint_fixture("bad_rng.cpp"));
+  EXPECT_EQ(counts.at("det-random-device"), 1);
+  EXPECT_EQ(counts.at("det-rng-engine"), 2);  // mt19937 + unseeded Rng()
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(DqlintRules, PointerKeys) {
+  const auto counts = rule_counts(lint_fixture("bad_ptr_key.cpp"));
+  EXPECT_EQ(counts.at("det-ptr-key"), 2);  // pointer VALUE stays legal
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, DirectSend) {
+  const auto counts = rule_counts(lint_fixture("bad_direct_send.cpp"));
+  EXPECT_EQ(counts.at("proto-direct-send"), 2);  // send + send_tagged, not reply
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, EpochCompare) {
+  const auto counts = rule_counts(lint_fixture("bad_epoch.cpp"));
+  EXPECT_EQ(counts.at("proto-epoch-compare"), 2);  // raw == and std::max
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, ObsRead) {
+  const auto counts = rule_counts(lint_fixture("bad_obs_read.cpp"));
+  EXPECT_EQ(counts.at("proto-obs-read"), 1);  // value() read; inc() is fine
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, Assert) {
+  const auto counts = rule_counts(lint_fixture("bad_assert.cpp"));
+  EXPECT_EQ(counts.at("hyg-assert"), 2);  // <cassert> + assert(); static_assert ok
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintRules, NakedNew) {
+  const auto counts = rule_counts(lint_fixture("bad_new.cpp"));
+  EXPECT_EQ(counts.at("hyg-naked-new"), 2);  // new + delete; `= delete` is fine
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintSuppression, JustifiedSuppressionSilencesAndRecords) {
+  const FileReport fr = lint_fixture("suppressed.cpp");
+  EXPECT_TRUE(fr.diagnostics.empty())
+      << fr.diagnostics.front().rule << ": " << fr.diagnostics.front().message;
+  ASSERT_EQ(fr.suppressions.size(), 2u);
+  for (const Suppression& s : fr.suppressions) {
+    EXPECT_EQ(s.rule, "det-unordered-container");
+    EXPECT_FALSE(s.justification.empty());
+  }
+  EXPECT_NE(fr.suppressions[1].justification.find("lookup-only cache"),
+            std::string::npos);
+}
+
+TEST(DqlintSuppression, MalformedAndUnusedDirectivesAreDiagnostics) {
+  const auto counts = rule_counts(lint_fixture("bad_suppression.cpp"));
+  EXPECT_EQ(counts.at("lint-bad-suppression"), 2);   // no ':', unknown rule
+  EXPECT_EQ(counts.at("lint-unused-suppression"), 1);
+  // The rand() calls under the two broken directives stay unsuppressed.
+  EXPECT_EQ(counts.at("det-rand"), 2);
+}
+
+TEST(DqlintScopes, RulesOnlyFireInTheirDirectories) {
+  const std::string src = "#include <unordered_map>\n"
+                          "std::unordered_map<int, int> m;\n";
+  EXPECT_EQ(lint_source("src/core/x.cpp", src, true).diagnostics.size(), 2u);
+  EXPECT_EQ(lint_source("src/sim/x.h", src, true).diagnostics.size(), 2u);
+  // workload/ and analysis/ may use hash maps (their output is re-sorted).
+  EXPECT_TRUE(lint_source("src/workload/x.cpp", src, true).diagnostics.empty());
+  EXPECT_TRUE(lint_source("src/analysis/x.cpp", src, true).diagnostics.empty());
+}
+
+TEST(DqlintScopes, ExemptFileSkipsRule) {
+  const std::string src = "void check(bool b) { assert(b); }\n";
+  EXPECT_EQ(lint_source("src/sim/x.cpp", src, true).diagnostics.size(), 1u);
+  EXPECT_TRUE(
+      lint_source("src/common/assert.h", src, true).diagnostics.empty());
+}
+
+TEST(DqlintScopes, DirectSendScopedToCore) {
+  const std::string src = "void f() { world_.send(1); }\n";
+  EXPECT_EQ(lint_source("src/core/x.cpp", src, true).diagnostics.size(), 1u);
+  // Baseline protocols legitimately talk to the network directly.
+  EXPECT_TRUE(
+      lint_source("src/protocols/x.cpp", src, true).diagnostics.empty());
+}
+
+TEST(DqlintEngine, CommentsAndStringsNeverFire) {
+  const std::string src =
+      "// std::rand() and time() and unordered_map in prose\n"
+      "/* assert(new int); system_clock */\n"
+      "const char* s = \"rand() unordered_map<int*,int>\";\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src, true).diagnostics.empty());
+}
+
+TEST(DqlintEngine, MemberAndNonStdQualifiedCallsDoNotFire) {
+  const std::string src =
+      "void f(Clock& c) {\n"
+      "  c.time(0);             // member named like libc\n"
+      "  DriftClock::random(r); // class-qualified, not libc\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", src, true).diagnostics.empty());
+  // std:: qualification IS libc-shaped and fires.
+  const std::string bad = "long f() { return std::time(nullptr); }\n";
+  EXPECT_EQ(lint_source("src/sim/x.cpp", bad, true).diagnostics.size(), 1u);
+}
+
+TEST(DqlintReport, RuleTableIsSane) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rules()) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    EXPECT_FALSE(r.description.empty()) << r.id;
+  }
+  EXPECT_GE(ids.size(), 12u);
+}
+
+TEST(DqlintReport, JsonEnvelope) {
+  RunReport rr;
+  rr.add(lint_fixture("bad_rand.cpp"));
+  rr.add(lint_fixture("suppressed.cpp"));
+  const std::string json = to_json(rr, "fixtures");
+  EXPECT_NE(json.find("\"schema\":\"dq.lint.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"det-rand\""), std::string::npos);
+  EXPECT_NE(json.find("\"justification\":"), std::string::npos);
+
+  RunReport clean;
+  clean.add(lint_fixture("clean.cpp"));
+  const std::string cj = to_json(clean, "fixtures");
+  EXPECT_NE(cj.find("\"clean\":true"), std::string::npos);
+  EXPECT_NE(cj.find("\"diagnostics\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dq::lint

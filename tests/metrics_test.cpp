@@ -189,15 +189,13 @@ TEST(QuorumSpec, BuildProducesIntersectingSystems) {
   }
 }
 
-TEST(QuorumSpec, DeprecatedFlatFieldsStillResolve) {
+TEST(QuorumSpec, ParamsCarryTheSpecDirectly) {
   ExperimentParams p;
-  EXPECT_EQ(p.resolved_iqs().describe(), "majority:5");  // the default spec
-  p.iqs_size = 7;
-  EXPECT_EQ(p.resolved_iqs().describe(), "majority:7");
-  p.iqs_size = 9;
-  p.iqs_grid_rows = 3;
-  p.iqs_grid_cols = 3;
-  EXPECT_EQ(p.resolved_iqs().describe(), "grid:3x3");
+  EXPECT_EQ(p.iqs.describe(), "majority:5");  // the default spec
+  p.iqs = QuorumSpec::majority(7);
+  EXPECT_EQ(p.iqs.describe(), "majority:7");
+  p.iqs = QuorumSpec::grid(3, 3);
+  EXPECT_EQ(p.iqs.describe(), "grid:3x3");
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,47 @@
+// UBSan smoke driver: the whole simulator is recompiled with
+// -fsanitize=undefined -fno-sanitize-recover=all into this binary (see
+// tests/CMakeLists.txt), so any UB on the hot path aborts the ctest run.
+// Drives one DQVL experiment and one baseline end to end, including the
+// dq.report.v1 rendering path.
+#include <cstdio>
+#include <string>
+
+#include "workload/experiment.h"
+#include "workload/report.h"
+
+namespace {
+
+int run_one(dq::workload::Protocol proto) {
+  dq::workload::ExperimentParams p;
+  p.protocol = proto;
+  p.iqs = dq::workload::QuorumSpec::majority(3);
+  p.requests_per_client = 60;
+  p.write_ratio = 0.2;
+  p.max_drift = 1e-4;
+  p.proactive_renewal = true;
+  p.seed = 7;
+  const dq::workload::ExperimentResult r = dq::workload::run_experiment(p);
+  if (r.total_requests() == 0) {
+    std::fprintf(stderr, "ubsan_smoke: %s completed no requests\n",
+                 dq::workload::protocol_name(proto));
+    return 1;
+  }
+  const std::string json = dq::workload::report::to_json(p, r);
+  if (json.find("\"schema\":\"dq.report.v1\"") == std::string::npos) {
+    std::fprintf(stderr, "ubsan_smoke: bad report envelope\n");
+    return 1;
+  }
+  std::printf("ubsan_smoke: %s ok (%llu requests)\n",
+              dq::workload::protocol_name(proto),
+              static_cast<unsigned long long>(r.total_requests()));
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  int rc = 0;
+  rc |= run_one(dq::workload::Protocol::kDqvl);
+  rc |= run_one(dq::workload::Protocol::kPrimaryBackup);
+  return rc;
+}

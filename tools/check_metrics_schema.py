@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Validate dq.report.v1 / dq.bench.v1 JSON emitted by dqsim and the benches.
+"""Validate dq.report.v1 / dq.bench.v1 / dq.lint.v1 JSON documents.
 
 Usage:
   check_metrics_schema.py FILE [FILE...]      validate existing JSON files
+                                              (schema is auto-detected)
   check_metrics_schema.py --dqsim PATH        run `PATH --protocol=dqvl
                                               --metrics-json=<tmp>` and
                                               validate the output (also checks
                                               the DQVL-specific sections:
                                               write_phases and iqs_load)
+  check_metrics_schema.py --dqlint PATH       run `PATH --root=<repo>
+                                              --json=<tmp>`, validate the
+                                              dq.lint.v1 output, and require
+                                              a clean run (no unsuppressed
+                                              diagnostics, every suppression
+                                              justified)
 
 Exit status 0 iff every document validates.  Uses only the standard library.
 """
@@ -29,6 +36,10 @@ CONFIG_KEYS = {
     "write_ratio", "seed",
 }
 METRICS_KEYS = {"counters", "gauges", "histograms"}
+LINT_KEYS = {
+    "schema", "root", "files_scanned", "clean", "rules", "diagnostics",
+    "suppressions",
+}
 
 
 class SchemaError(Exception):
@@ -126,9 +137,62 @@ def check_report(doc, where, *, dqvl=False):
                f"{where}.iqs_load: empty (no per-node IQS counters)")
 
 
+def check_lint(doc, where, *, require_clean=False):
+    expect(isinstance(doc, dict), f"{where}: expected object")
+    expect(doc.get("schema") == "dq.lint.v1",
+           f"{where}.schema: {doc.get('schema')!r} != 'dq.lint.v1'")
+    missing = LINT_KEYS - doc.keys()
+    expect(not missing, f"{where}: missing keys {sorted(missing)}")
+    expect(isinstance(doc["root"], str), f"{where}.root: not a string")
+    expect(isinstance(doc["files_scanned"], int) and doc["files_scanned"] >= 0,
+           f"{where}.files_scanned: not a non-negative int")
+    expect(isinstance(doc["clean"], bool), f"{where}.clean: not a bool")
+
+    rules = doc["rules"]
+    expect(isinstance(rules, list) and rules, f"{where}.rules: empty or not "
+           "an array")
+    ids = set()
+    for i, r in enumerate(rules):
+        w = f"{where}.rules[{i}]"
+        for k in ("id", "description"):
+            expect(isinstance(r.get(k), str) and r[k], f"{w}.{k}: not a "
+                   "non-empty string")
+        expect(isinstance(r.get("scopes"), list), f"{w}.scopes: not an array")
+        expect(r["id"] not in ids, f"{w}.id: duplicate {r['id']!r}")
+        ids.add(r["id"])
+
+    for i, d in enumerate(doc["diagnostics"]):
+        w = f"{where}.diagnostics[{i}]"
+        for k in ("file", "rule", "message"):
+            expect(isinstance(d.get(k), str) and d[k], f"{w}.{k}: not a "
+                   "non-empty string")
+        expect(isinstance(d.get("line"), int) and d["line"] >= 1,
+               f"{w}.line: not a positive int")
+        expect(d["rule"] in ids, f"{w}.rule: {d['rule']!r} not in rule table")
+    for i, s in enumerate(doc["suppressions"]):
+        w = f"{where}.suppressions[{i}]"
+        for k in ("file", "rule", "justification"):
+            expect(isinstance(s.get(k), str) and s[k], f"{w}.{k}: not a "
+                   "non-empty string")
+        expect(isinstance(s.get("line"), int) and s["line"] >= 1,
+               f"{w}.line: not a positive int")
+        expect(s["rule"] in ids, f"{w}.rule: {s['rule']!r} not in rule table")
+
+    expect(doc["clean"] == (len(doc["diagnostics"]) == 0),
+           f"{where}.clean: inconsistent with diagnostics array")
+    if require_clean:
+        diags = "; ".join(f"{d['file']}:{d['line']}: {d['rule']}"
+                          for d in doc["diagnostics"][:5])
+        expect(doc["clean"], f"{where}: lint not clean ({diags} ...)")
+
+
 def check_document(doc, where):
-    """Validate either a single report or a dq.bench.v1 envelope."""
+    """Validate a single report, a dq.bench.v1 envelope, or a dq.lint.v1
+    run."""
     schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema == "dq.lint.v1":
+        check_lint(doc, where)
+        return 1
     if schema == "dq.bench.v1":
         expect(isinstance(doc.get("bench"), str) and doc["bench"],
                f"{where}.bench: not a non-empty string")
@@ -168,6 +232,32 @@ def main(argv):
                 print(f"FAIL: {out}: {e}", file=sys.stderr)
                 return 1
         print("OK: dqsim --metrics-json output matches dq.report.v1")
+        return 0
+
+    if len(argv) >= 2 and argv[1] == "--dqlint":
+        if len(argv) not in (3, 4):
+            print("usage: check_metrics_schema.py --dqlint PATH [ROOT]",
+                  file=sys.stderr)
+            return 2
+        root = argv[3] if len(argv) == 4 else "."
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "lint.json")
+            cmd = [argv[2], f"--root={root}", f"--json={out}"]
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+            # Exit 1 just means diagnostics exist; check_lint reports them.
+            if proc.returncode not in (0, 1):
+                print(proc.stdout, file=sys.stderr)
+                print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}",
+                      file=sys.stderr)
+                return 1
+            try:
+                with open(out, "r", encoding="utf-8") as fh:
+                    check_lint(json.load(fh), "lint.json", require_clean=True)
+            except (SchemaError, json.JSONDecodeError, OSError) as e:
+                print(f"FAIL: {out}: {e}", file=sys.stderr)
+                return 1
+        print("OK: dqlint --json output matches dq.lint.v1 and is clean")
         return 0
 
     if len(argv) < 2:
