@@ -11,25 +11,34 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation", "regular DQVL vs atomic DQVL (read write-back)");
   row({"write%", "variant", "read(ms)", "write(ms)", "overall", "msgs/req"},
       12);
-  for (double w : {0.05, 0.3}) {
-    for (workload::Protocol proto :
-         {workload::Protocol::kDqvl, workload::Protocol::kDqvlAtomic}) {
+  const std::vector<double> writes{0.05, 0.3};
+  const workload::Protocol variants[] = {workload::Protocol::kDqvl,
+                                         workload::Protocol::kDqvlAtomic};
+  std::vector<workload::ExperimentParams> trials;
+  for (double w : writes) {
+    for (workload::Protocol proto : variants) {
       workload::ExperimentParams p;
       p.protocol = proto;
       p.write_ratio = w;
       p.requests_per_client = 300;
       p.seed = 21;
-      const auto r = workload::run_experiment(p);
-      row({fmt(100 * w, 0),
-           proto == workload::Protocol::kDqvl ? "regular" : "atomic",
-           fmt(r.read_ms.mean()), fmt(r.write_ms.mean()),
-           fmt(r.all_ms.mean()), fmt(r.messages_per_request, 1)},
-          12);
+      trials.push_back(p);
     }
+  }
+  const auto results =
+      run::run_experiments(trials, jobs_from_argv(argc, argv));
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& r = results[i];
+    row({fmt(100 * trials[i].write_ratio, 0),
+         trials[i].protocol == workload::Protocol::kDqvl ? "regular"
+                                                         : "atomic",
+         fmt(r.read_ms.mean()), fmt(r.write_ms.mean()),
+         fmt(r.all_ms.mean()), fmt(r.messages_per_request, 1)},
+        12);
   }
   std::printf("\natomic semantics costs every read one IQS write-quorum "
               "confirmation round\n(~80 ms RTT + 2|iwq| messages); this is "

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   // motivates the grid ("reduce the overall system load").
   row({"IQS", "read(ms)", "write(ms)", "msgs/req", "max-node-load",
        "violations"}, 14);
+  std::vector<workload::ExperimentParams> trials;
   for (bool grid : {false, true}) {
     workload::ExperimentParams p;
     p.protocol = workload::Protocol::kDqvl;
@@ -30,9 +31,12 @@ int main(int argc, char** argv) {
     p.requests_per_client = 300;
     p.seed = 41;
     p.choose_object = [](Rng&) { return ObjectId(1); };
-    workload::Deployment dep(p);
-    const auto r = dep.run();
-    rep.record(p, r);
+    trials.push_back(p);
+  }
+  const auto results = rep.run_batch(trials);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const bool grid = i == 1;
+    const auto& r = results[i];
     // Per-IQS-node request load straight from the metrics registry.
     std::uint64_t max_load = 0;
     for (const auto& [node, load] :

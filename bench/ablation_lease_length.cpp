@@ -70,19 +70,32 @@ Probe probe(sim::Duration lease, bool basic) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation", "volume lease length L: write blocking vs renewal cost");
   row({"lease", "blocked-write(ms)", "msgs/request"}, 20);
-  for (sim::Duration lease :
-       {sim::milliseconds(500), sim::seconds(1), sim::seconds(2),
-        sim::seconds(5), sim::seconds(10)}) {
-    const Probe pr = probe(lease, false);
-    row({fmt(sim::to_ms(lease), 0) + " ms",
+  // Each probe drives its own pair of Worlds, so the configurations fan out
+  // across --jobs threads like any other trial batch.
+  struct Config {
+    sim::Duration lease;
+    bool basic;
+  };
+  const std::vector<Config> configs{
+      {sim::milliseconds(500), false}, {sim::seconds(1), false},
+      {sim::seconds(2), false},        {sim::seconds(5), false},
+      {sim::seconds(10), false},       {sim::kTimeInfinity, true}};
+  std::vector<Probe> probes(configs.size());
+  run::parallel_for_index(
+      configs.size(), bench::jobs_from_argv(argc, argv),
+      [&](std::size_t i) { probes[i] = probe(configs[i].lease,
+                                             configs[i].basic); });
+  for (std::size_t i = 0; i + 1 < configs.size(); ++i) {
+    const Probe& pr = probes[i];
+    row({fmt(sim::to_ms(configs[i].lease), 0) + " ms",
          pr.blocked_write_ms < 0 ? "blocked" : fmt(pr.blocked_write_ms, 0),
          fmt(pr.msgs_per_request, 2)},
         20);
   }
-  const Probe basic = probe(sim::kTimeInfinity, true);
+  const Probe& basic = probes.back();
   row({"infinite (basic DQ)",
        basic.blocked_write_ms < 0 ? "blocked (>120 s)"
                                   : fmt(basic.blocked_write_ms, 0),

@@ -23,7 +23,7 @@ struct Probe {
   double read_ms;
 };
 
-Probe run(sim::Duration object_lease) {
+Probe probe(sim::Duration object_lease) {
   workload::ExperimentParams p;
   p.protocol = workload::Protocol::kDqvl;
   p.object_lease_length = object_lease;
@@ -47,18 +47,23 @@ Probe run(sim::Duration object_lease) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation",
          "object lease length under scan-like access (footnote 4)");
   row({"object lease", "msgs/req", "DqInval msgs", "read(ms)"}, 16);
-  for (sim::Duration l : {sim::milliseconds(250), sim::milliseconds(500),
-                          sim::seconds(1), sim::seconds(5)}) {
-    const Probe pr = run(l);
-    row({fmt(sim::to_ms(l), 0) + " ms", fmt(pr.msgs_per_request, 2),
+  const std::vector<sim::Duration> leases{
+      sim::milliseconds(250), sim::milliseconds(500), sim::seconds(1),
+      sim::seconds(5), sim::kTimeInfinity};
+  std::vector<Probe> probes(leases.size());
+  run::parallel_for_index(leases.size(), bench::jobs_from_argv(argc, argv),
+                          [&](std::size_t i) { probes[i] = probe(leases[i]); });
+  for (std::size_t i = 0; i + 1 < leases.size(); ++i) {
+    const Probe& pr = probes[i];
+    row({fmt(sim::to_ms(leases[i]), 0) + " ms", fmt(pr.msgs_per_request, 2),
          std::to_string(pr.invals), fmt(pr.read_ms, 1)},
         16);
   }
-  const Probe inf = run(sim::kTimeInfinity);
+  const Probe& inf = probes.back();
   row({"infinite (cb)", fmt(inf.msgs_per_request, 2),
        std::to_string(inf.invals), fmt(inf.read_ms, 1)},
       16);

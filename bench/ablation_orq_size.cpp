@@ -10,11 +10,13 @@
 using namespace dq;
 using namespace dq::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation", "OQS read quorum size (9 OQS nodes, IQS majority of 5)");
   row({"|orq|", "|owq|", "read(ms)", "write(ms)", "overall(ms)",
        "msgs/req"});
-  for (std::size_t r : {1u, 2u, 3u, 5u}) {
+  const std::vector<std::size_t> sizes{1u, 2u, 3u, 5u};
+  std::vector<workload::ExperimentParams> trials;
+  for (std::size_t r : sizes) {
     workload::ExperimentParams p;
     p.protocol = workload::Protocol::kDqvl;
     p.oqs_read_quorum = r;
@@ -22,8 +24,13 @@ int main() {
     p.requests_per_client = 250;
     p.seed = 5;
     p.choose_object = [](Rng&) { return ObjectId(3); };
-    const auto res = workload::run_experiment(p);
-    row({std::to_string(r), std::to_string(9 - r + 1),
+    trials.push_back(p);
+  }
+  const auto results =
+      run::run_experiments(trials, jobs_from_argv(argc, argv));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& res = results[i];
+    row({std::to_string(sizes[i]), std::to_string(9 - sizes[i] + 1),
          fmt(res.read_ms.mean()), fmt(res.write_ms.mean()),
          fmt(res.all_ms.mean()), fmt(res.messages_per_request, 1)});
   }

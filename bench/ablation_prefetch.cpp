@@ -16,7 +16,7 @@ struct Probe {
   std::uint64_t messages;      // messages spent warming + reading
 };
 
-Probe run(bool prefetch, std::size_t objects) {
+Probe probe(bool prefetch, std::size_t objects) {
   workload::ExperimentParams p;
   p.protocol = workload::Protocol::kDqvl;
   p.requests_per_client = 0;
@@ -62,16 +62,30 @@ Probe run(bool prefetch, std::size_t objects) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation", "cold-start warmup: per-object misses vs volume prefetch");
   row({"objects", "policy", "first-pass read(ms)", "messages"}, 22);
+  // Each probe owns its World, so the six configurations fan out across
+  // --jobs threads.
+  struct Cfg {
+    std::size_t objects;
+    bool prefetch;
+  };
+  std::vector<Cfg> cfgs;
   for (std::size_t n : {10u, 50u, 200u}) {
-    for (bool pf : {false, true}) {
-      const Probe pr = run(pf, n);
-      row({std::to_string(n), pf ? "prefetch" : "miss storm",
-           fmt(pr.first_pass_read_ms, 1), std::to_string(pr.messages)},
-          22);
-    }
+    for (bool pf : {false, true}) cfgs.push_back({n, pf});
+  }
+  std::vector<Probe> probes(cfgs.size());
+  run::parallel_for_index(
+      cfgs.size(), bench::jobs_from_argv(argc, argv),
+      [&](std::size_t i) { probes[i] = probe(cfgs[i].prefetch,
+                                             cfgs[i].objects); });
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    row({std::to_string(cfgs[i].objects),
+         cfgs[i].prefetch ? "prefetch" : "miss storm",
+         fmt(probes[i].first_pass_read_ms, 1),
+         std::to_string(probes[i].messages)},
+        22);
   }
   std::printf("\none bulk fetch per IQS member replaces a renewal round "
               "trip per object\n");

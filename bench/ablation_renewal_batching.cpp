@@ -14,7 +14,7 @@ using namespace dq::bench;
 
 namespace {
 
-workload::ExperimentResult run(bool proactive, bool batch) {
+workload::ExperimentParams renewal_params(bool proactive, bool batch) {
   workload::ExperimentParams p;
   p.protocol = workload::Protocol::kDqvl;
   p.lease_length = sim::seconds(1);
@@ -26,12 +26,12 @@ workload::ExperimentResult run(bool proactive, bool batch) {
   p.think_time = sim::milliseconds(50);  // stretch across many lease periods
   p.seed = 71;
   p.choose_object = [](Rng& rng) { return ObjectId(rng.below(32)); };
-  return workload::run_experiment(p);
+  return p;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation",
          "volume renewal policy (1 s leases, 16 volumes, read-heavy)");
   row({"policy", "read(ms)", "p99(ms)", "msgs/req", "bytes/req"}, 18);
@@ -39,12 +39,19 @@ int main() {
     const char* name;
     bool proactive, batch;
   };
-  for (const Cfg& c : {Cfg{"on-demand", false, false},
-                       Cfg{"proactive", true, false},
-                       Cfg{"proactive+batch", true, true}}) {
-    const auto r = run(c.proactive, c.batch);
-    row({c.name, fmt(r.read_ms.mean(), 1), fmt(r.read_ms.percentile(99), 1),
-         fmt(r.messages_per_request, 1), fmt(r.bytes_per_request, 0)},
+  const std::vector<Cfg> cfgs{{"on-demand", false, false},
+                              {"proactive", true, false},
+                              {"proactive+batch", true, true}};
+  std::vector<workload::ExperimentParams> trials;
+  for (const Cfg& c : cfgs) trials.push_back(renewal_params(c.proactive,
+                                                            c.batch));
+  const auto results =
+      run::run_experiments(trials, jobs_from_argv(argc, argv));
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const auto& r = results[i];
+    row({cfgs[i].name, fmt(r.read_ms.mean(), 1),
+         fmt(r.read_ms.percentile(99), 1), fmt(r.messages_per_request, 1),
+         fmt(r.bytes_per_request, 0)},
         18);
   }
   std::printf("\nproactive renewal removes the periodic read-miss hiccup "

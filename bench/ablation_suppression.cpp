@@ -12,7 +12,8 @@ using namespace dq::bench;
 
 namespace {
 
-workload::ExperimentResult run(bool suppression, double write_ratio) {
+workload::ExperimentParams suppression_params(bool suppression,
+                                              double write_ratio) {
   workload::ExperimentParams p;
   p.protocol = workload::Protocol::kDqvl;
   p.suppression = suppression;
@@ -20,24 +21,31 @@ workload::ExperimentResult run(bool suppression, double write_ratio) {
   p.requests_per_client = 250;
   p.seed = 9;
   p.choose_object = [](Rng&) { return ObjectId(3); };
-  return workload::run_experiment(p);
+  return p;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Ablation", "write-suppression fast path on/off");
   row({"write%", "suppress", "write(ms)", "msgs/req", "DqInval msgs"}, 16);
+  std::vector<workload::ExperimentParams> trials;
   for (double w : {0.2, 0.5, 0.9}) {
     for (bool s : {true, false}) {
-      const auto r = run(s, w);
-      row({fmt(100 * w, 0), s ? "on" : "off", fmt(r.write_ms.mean()),
-           fmt(r.messages_per_request, 1),
-           std::to_string(r.message_table.count("DqInval")
-                              ? r.message_table.at("DqInval")
-                              : 0)},
-          16);
+      trials.push_back(suppression_params(s, w));
     }
+  }
+  const auto results =
+      run::run_experiments(trials, jobs_from_argv(argc, argv));
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& r = results[i];
+    row({fmt(100 * trials[i].write_ratio, 0),
+         trials[i].suppression ? "on" : "off", fmt(r.write_ms.mean()),
+         fmt(r.messages_per_request, 1),
+         std::to_string(r.message_table.count("DqInval")
+                            ? r.message_table.at("DqInval")
+                            : 0)},
+        16);
   }
   std::printf("\nsuppression removes redundant invalidation rounds on "
               "write bursts; the\ndifference grows with the write ratio\n");

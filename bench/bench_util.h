@@ -9,14 +9,31 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "run/parallel_runner.h"
 #include "workload/experiment.h"
 #include "workload/report.h"
 
 namespace dq::bench {
+
+// Parse --jobs=N from a bench command line (0 = one per hardware thread;
+// default 1 = serial).  Benches without a Reporter use this directly with
+// run::parallel_for_index / run::run_experiments.
+inline std::size_t jobs_from_argv(int argc, char** argv) {
+  std::size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--jobs=", 0) == 0) {
+      jobs = run::resolve_jobs(
+          static_cast<std::size_t>(std::strtoul(a.c_str() + 7, nullptr, 10)));
+    }
+  }
+  return jobs;
+}
 
 inline void header(const char* fig, const char* what) {
   std::printf("==================================================================\n");
@@ -69,6 +86,13 @@ inline workload::ExperimentResult response_time_run(
 //
 // Default output path is BENCH_<name>.json in the working directory;
 // --json=PATH on the bench command line overrides it.
+//
+// Command-line flags parsed by every bench:
+//   --json=PATH   write the envelope to PATH
+//   --jobs=N      fan run_batch trials across N threads (0 = one per
+//                 hardware thread; default 1).  Trials are independent
+//                 simulations, so the output -- table rows, report order,
+//                 every byte of the envelope -- is identical at any N.
 class Reporter {
  public:
   explicit Reporter(std::string name, int argc = 0, char** argv = nullptr)
@@ -77,6 +101,7 @@ class Reporter {
       const std::string a = argv[i];
       if (a.rfind("--json=", 0) == 0) path_ = a.substr(7);
     }
+    jobs_ = jobs_from_argv(argc, argv);
   }
 
   Reporter(const Reporter&) = delete;
@@ -90,6 +115,19 @@ class Reporter {
     record(p, r);
     return r;
   }
+
+  // Run a batch of independent trials through the parallel runner (--jobs
+  // threads) and record each report.  Results come back in trial order, so
+  // callers print their tables from the returned vector exactly as if they
+  // had looped over run() serially.
+  std::vector<workload::ExperimentResult> run_batch(
+      const std::vector<workload::ExperimentParams>& ps) {
+    std::vector<workload::ExperimentResult> rs = run::run_experiments(ps, jobs_);
+    for (std::size_t i = 0; i < ps.size(); ++i) record(ps[i], rs[i]);
+    return rs;
+  }
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
 
   // Record a run executed elsewhere (e.g. via a Deployment).
   void record(const workload::ExperimentParams& p,
@@ -118,6 +156,7 @@ class Reporter {
  private:
   std::string name_;
   std::string path_;
+  std::size_t jobs_ = 1;
   std::vector<std::string> runs_;
   bool written_ = false;
 };

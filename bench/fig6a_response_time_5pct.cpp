@@ -15,9 +15,16 @@ int main(int argc, char** argv) {
   header("Figure 6(a)", "response time at 5% write ratio, locality 100%");
   row({"protocol", "read(ms)", "write(ms)", "overall(ms)", "p99(ms)",
        "violations"});
+  const auto protos = workload::paper_protocols();
+  std::vector<workload::ExperimentParams> trials;
+  for (workload::Protocol proto : protos) {
+    trials.push_back(response_time_params(proto, 0.05, 1.0));
+  }
+  const auto results = rep.run_batch(trials);
   double dqvl_read = 0, pb_read = 0, maj_read = 0;
-  for (workload::Protocol proto : workload::paper_protocols()) {
-    const auto r = rep.run(response_time_params(proto, 0.05, 1.0));
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const workload::Protocol proto = protos[i];
+    const auto& r = results[i];
     row({workload::protocol_name(proto), fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.all_ms.mean()),
          fmt(r.all_ms.p99()), std::to_string(r.violations.size())});

@@ -18,12 +18,22 @@ int main(int argc, char** argv) {
   std::vector<std::string> head{"write%"};
   for (auto p : protos) head.push_back(workload::protocol_name(p));
   row(head);
-  double dqvl_at_1 = 0, maj_at_1 = 0;
-  for (double w : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    std::vector<std::string> cells{fmt(100 * w, 0)};
+  const std::vector<double> writes{0.0, 0.05, 0.1, 0.2, 0.3,
+                                   0.5, 0.7,  0.9, 1.0};
+  std::vector<workload::ExperimentParams> trials;
+  for (double w : writes) {
     for (auto proto : protos) {
-      const auto r = rep.run(response_time_params(proto, w, 1.0, /*seed=*/7,
-                                                  250));
+      trials.push_back(response_time_params(proto, w, 1.0, /*seed=*/7, 250));
+    }
+  }
+  const auto results = rep.run_batch(trials);
+  double dqvl_at_1 = 0, maj_at_1 = 0;
+  for (std::size_t wi = 0; wi < writes.size(); ++wi) {
+    const double w = writes[wi];
+    std::vector<std::string> cells{fmt(100 * w, 0)};
+    for (std::size_t pi = 0; pi < protos.size(); ++pi) {
+      const auto proto = protos[pi];
+      const auto& r = results[wi * protos.size() + pi];
       cells.push_back(fmt(r.all_ms.mean()));
       if (w == 1.0 && proto == workload::Protocol::kDqvl) {
         dqvl_at_1 = r.all_ms.mean();

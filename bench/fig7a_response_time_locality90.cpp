@@ -15,10 +15,16 @@ int main(int argc, char** argv) {
   Reporter rep("fig7a", argc, argv);
   header("Figure 7(a)", "response time at 5% writes, 90% access locality");
   row({"protocol", "read(ms)", "write(ms)", "overall(ms)", "violations"});
+  const auto protos = workload::paper_protocols();
+  std::vector<workload::ExperimentParams> trials;
+  for (workload::Protocol proto : protos) {
+    trials.push_back(response_time_params(proto, 0.05, 0.9, /*seed=*/19));
+  }
+  const auto results = rep.run_batch(trials);
   double dqvl = 0, pb = 0, maj = 0;
-  for (workload::Protocol proto : workload::paper_protocols()) {
-    const auto r = rep.run(response_time_params(proto, 0.05, 0.9,
-                                                /*seed=*/19));
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const workload::Protocol proto = protos[i];
+    const auto& r = results[i];
     row({workload::protocol_name(proto), fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.all_ms.mean()),
          std::to_string(r.violations.size())});

@@ -20,14 +20,22 @@ int main(int argc, char** argv) {
   for (auto p : protos) head.push_back(workload::protocol_name(p));
   row(head);
 
+  const std::vector<double> locs{0.0, 0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0};
+  std::vector<workload::ExperimentParams> trials;
+  for (double loc : locs) {
+    for (auto proto : protos) {
+      trials.push_back(response_time_params(proto, 0.05, loc, /*seed=*/3, 300));
+    }
+  }
+  const auto results = rep.run_batch(trials);
   double crossover = -1;
-  double prev_dqvl = 1e9;
-  for (double loc : {0.0, 0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 1.0}) {
+  for (std::size_t li = 0; li < locs.size(); ++li) {
+    const double loc = locs[li];
     std::vector<std::string> cells{fmt(100 * loc, 0)};
     double dqvl = 0, pb = 1e18, maj = 1e18;
-    for (auto proto : protos) {
-      const auto r = rep.run(response_time_params(proto, 0.05, loc,
-                                                  /*seed=*/3, 300));
+    for (std::size_t pi = 0; pi < protos.size(); ++pi) {
+      const auto proto = protos[pi];
+      const auto& r = results[li * protos.size() + pi];
       cells.push_back(fmt(r.all_ms.mean()));
       if (proto == workload::Protocol::kDqvl) dqvl = r.all_ms.mean();
       if (proto == workload::Protocol::kPrimaryBackup) pb = r.all_ms.mean();
@@ -35,9 +43,7 @@ int main(int argc, char** argv) {
     }
     row(cells);
     if (crossover < 0 && dqvl < pb && dqvl < maj) crossover = loc;
-    prev_dqvl = dqvl;
   }
-  (void)prev_dqvl;
   std::printf("\npaper: prefer DQVL over both strong baselines above ~70%% "
               "locality\n");
   if (crossover >= 0) {

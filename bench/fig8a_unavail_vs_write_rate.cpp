@@ -20,8 +20,9 @@ namespace {
 
 // Monte-Carlo cross-check: run the real protocols with failure injection
 // and per-op deadlines; measure the rejected fraction.
-double measured_unavailability(Reporter& rep, workload::Protocol proto,
-                               double w, double p_node, std::uint64_t seed) {
+workload::ExperimentParams unavailability_params(workload::Protocol proto,
+                                                 double w, double p_node,
+                                                 std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = w;
@@ -38,8 +39,7 @@ double measured_unavailability(Reporter& rep, workload::Protocol proto,
   p.failures =
       sim::FailureInjector::Params::for_unavailability(p_node,
                                                        sim::seconds(100));
-  const auto r = rep.run(p);
-  return 1.0 - r.availability();
+  return p;
 }
 
 }  // namespace
@@ -68,11 +68,19 @@ int main(int argc, char** argv) {
   coarse.n = 5;
   coarse.iqs = 5;
   coarse.p = 0.10;
-  for (double w : {0.1, 0.5}) {
-    const double dq_sim =
-        measured_unavailability(rep, workload::Protocol::kDqvl, w, 0.10, 91);
-    const double mj_sim = measured_unavailability(
-        rep, workload::Protocol::kMajority, w, 0.10, 91);
+  const std::vector<double> writes{0.1, 0.5};
+  std::vector<workload::ExperimentParams> trials;
+  for (double w : writes) {
+    trials.push_back(
+        unavailability_params(workload::Protocol::kDqvl, w, 0.10, 91));
+    trials.push_back(
+        unavailability_params(workload::Protocol::kMajority, w, 0.10, 91));
+  }
+  const auto results = rep.run_batch(trials);
+  for (std::size_t wi = 0; wi < writes.size(); ++wi) {
+    const double w = writes[wi];
+    const double dq_sim = 1.0 - results[wi * 2].availability();
+    const double mj_sim = 1.0 - results[wi * 2 + 1].availability();
     row({fmt(100 * w, 0), fmt_sci(dq_sim), fmt_sci(1 - coarse.dqvl(w)),
          fmt_sci(mj_sim), fmt_sci(1 - coarse.majority(w))});
   }

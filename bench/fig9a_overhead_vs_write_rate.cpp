@@ -20,8 +20,8 @@ using namespace dq::bench;
 
 namespace {
 
-double simulated_msgs_per_request(Reporter& rep, workload::Protocol proto,
-                                  double w, std::uint64_t seed) {
+workload::ExperimentParams hot_object_params(workload::Protocol proto,
+                                             double w, std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = w;
@@ -29,8 +29,7 @@ double simulated_msgs_per_request(Reporter& rep, workload::Protocol proto,
   p.seed = seed;
   // One hot object maximizes read-miss / write-through interleaving.
   p.choose_object = [](Rng&) { return ObjectId(7); };
-  const auto r = rep.run(p);
-  return r.messages_per_request;
+  return p;
 }
 
 }  // namespace
@@ -52,15 +51,22 @@ int main(int argc, char** argv) {
               "hot object;\nincludes lease renewals and retransmission "
               "machinery):\n");
   row({"write%", "DQVL", "majority", "ROWA"});
-  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    row({fmt(100 * w, 0),
-         fmt(simulated_msgs_per_request(rep, workload::Protocol::kDqvl, w, 57),
-             1),
-         fmt(simulated_msgs_per_request(rep, workload::Protocol::kMajority, w,
-                                        57),
-             1),
-         fmt(simulated_msgs_per_request(rep, workload::Protocol::kRowa, w, 57),
-             1)});
+  const std::vector<double> writes{0.0, 0.25, 0.5, 0.75, 1.0};
+  const workload::Protocol protos[] = {workload::Protocol::kDqvl,
+                                       workload::Protocol::kMajority,
+                                       workload::Protocol::kRowa};
+  std::vector<workload::ExperimentParams> trials;
+  for (double w : writes) {
+    for (workload::Protocol proto : protos) {
+      trials.push_back(hot_object_params(proto, w, 57));
+    }
+  }
+  const auto results = rep.run_batch(trials);
+  for (std::size_t wi = 0; wi < writes.size(); ++wi) {
+    row({fmt(100 * writes[wi], 0),
+         fmt(results[wi * 3 + 0].messages_per_request, 1),
+         fmt(results[wi * 3 + 1].messages_per_request, 1),
+         fmt(results[wi * 3 + 2].messages_per_request, 1)});
   }
   std::printf("\npaper: DQVL's overhead peaks near w = 50%% and exceeds "
               "majority there;\nits extremes (read hits / write suppresses) "

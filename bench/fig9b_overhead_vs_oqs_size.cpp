@@ -14,8 +14,8 @@ using namespace dq::bench;
 
 namespace {
 
-double simulated_msgs_per_request(Reporter& rep, std::size_t servers, double w,
-                                  std::uint64_t seed) {
+workload::ExperimentParams sized_params(std::size_t servers, double w,
+                                        std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = workload::Protocol::kDqvl;
   p.topo.num_servers = servers;
@@ -24,8 +24,7 @@ double simulated_msgs_per_request(Reporter& rep, std::size_t servers, double w,
   p.requests_per_client = 250;
   p.seed = seed;
   p.choose_object = [](Rng&) { return ObjectId(7); };
-  const auto r = rep.run(p);
-  return r.messages_per_request;
+  return p;
 }
 
 }  // namespace
@@ -47,9 +46,13 @@ int main(int argc, char** argv) {
 
   std::printf("\nsimulator cross-check (w = 0.25, one hot object):\n");
   row({"replicas", "DQVL(iqs=5)"});
-  for (std::size_t n : {5u, 9u, 13u, 17u}) {
-    row({std::to_string(n), fmt(simulated_msgs_per_request(rep, n, w, 61),
-                                1)});
+  const std::vector<std::size_t> sizes{5u, 9u, 13u, 17u};
+  std::vector<workload::ExperimentParams> trials;
+  for (std::size_t n : sizes) trials.push_back(sized_params(n, w, 61));
+  const auto results = rep.run_batch(trials);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    row({std::to_string(sizes[i]),
+         fmt(results[i].messages_per_request, 1)});
   }
   std::printf("\npaper: with a moderate fixed IQS, DQVL overhead is "
               "comparable to majority\nas the OQS grows\n");

@@ -3,8 +3,12 @@
 // in the substrate that the figure benches run on.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "analysis/availability.h"
 #include "quorum/quorum.h"
+#include "run/parallel_runner.h"
 #include "sim/scheduler.h"
 #include "workload/experiment.h"
 
@@ -25,6 +29,62 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerScheduleRun);
+
+// Steady state: one scheduler reused across batches, the regime a real
+// trial runs in (millions of events through a single scheduler, slab slots
+// recycling).  This is the events/sec headline; BM_SchedulerScheduleRun
+// above keeps the seed-comparable cold-start shape.
+void BM_SchedulerSteadyState(benchmark::State& state) {
+  sim::Scheduler s;
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(s.now() + i, [&sink] { ++sink; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSteadyState);
+
+// Cancel-heavy variant: half the scheduled events are cancelled before the
+// drain, exercising lazy heap deletion and slab-slot recycling.
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    int sink = 0;
+    std::vector<sim::TimerToken> tokens;
+    tokens.reserve(500);
+    for (int i = 0; i < 1000; ++i) {
+      auto tok = s.schedule_at(i, [&sink] { ++sink; });
+      if (i % 2 == 0) tokens.push_back(tok);
+    }
+    for (auto& tok : tokens) tok.cancel();
+    s.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+// Steady-state churn: a bounded pending set with constant schedule/fire
+// turnover, the shape the protocol timers actually produce.  The slab pool
+// should recycle the same few slots instead of growing.
+void BM_SchedulerSteadyChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    int remaining = 2000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) s.schedule_at(s.now() + 1, tick);
+    };
+    for (int c = 0; c < 8; ++c) s.schedule_at(c, tick);
+    s.run_all();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SchedulerSteadyChurn);
 
 void BM_QuorumPickMajority(benchmark::State& state) {
   std::vector<NodeId> members;
@@ -63,6 +123,29 @@ void BM_DqvlEndToEndOps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 300);
 }
 BENCHMARK(BM_DqvlEndToEndOps)->Unit(benchmark::kMillisecond);
+
+// The parallel runner over a fixed 4-trial suite; Arg is the job count.
+// On a single-core host both arms serialize -- the interesting number is
+// the per-trial overhead of the fan-out machinery itself.
+void BM_ParallelTrialSuite(benchmark::State& state) {
+  std::vector<workload::ExperimentParams> trials;
+  for (std::uint64_t seed : {7u, 11u, 23u, 42u}) {
+    workload::ExperimentParams p;
+    p.protocol = workload::Protocol::kDqvl;
+    p.requests_per_client = 100;
+    p.write_ratio = 0.2;
+    p.seed = seed;
+    trials.push_back(p);
+  }
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto rs = run::run_experiments(trials, jobs);
+    benchmark::DoNotOptimize(rs.front().all_ms.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ParallelTrialSuite)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MajorityEndToEndOps(benchmark::State& state) {
   for (auto _ : state) {

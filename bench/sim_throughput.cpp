@@ -1,0 +1,144 @@
+// Simulator throughput: how fast the substrate itself runs.
+//
+// Two measurements, both recorded in a dq.bench.v1 envelope
+// (BENCH_sim_throughput.json, checked in as the reference baseline):
+//
+//   * scheduler events/sec -- raw schedule+fire throughput of the slab-pool
+//     event core (plus a cancel-heavy variant exercising lazy heap
+//     deletion), the number the ISSUE's >=2x acceptance bar is measured on;
+//   * trial-suite wall-clock -- a fixed 8-trial suite run serially and
+//     again through the parallel runner at --jobs N, with the speedup.
+//
+// Timing a simulator takes a wall clock, so unlike every other bench this
+// one's numbers vary run to run; the dq.report.v1 documents it records (the
+// serial suite's reports) stay byte-identical at any --jobs.
+#include <chrono>
+#include <cstdint>
+
+#include "bench_util.h"
+#include "sim/scheduler.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+namespace {
+
+double wall_ms() {
+  using clk = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clk::now().time_since_epoch())
+      .count();
+}
+
+// Events/sec through schedule_at + run_all in the steady state -- one
+// scheduler reused across batches, the regime a real trial runs in (a World
+// pushes millions of events through a single scheduler, so construction
+// cost amortizes to nothing and the slab pool recycles hot slots).
+// Measured over ~0.3 s.
+double scheduler_events_per_sec(bool cancel_half) {
+  constexpr int kBatch = 1000;
+  sim::Scheduler s;
+  int sink = 0;
+  std::vector<sim::TimerToken> tokens;
+  tokens.reserve(kBatch / 2);
+  std::uint64_t fired = 0;
+  const double t0 = wall_ms();
+  double t1 = t0;
+  while (t1 - t0 < 300.0) {
+    tokens.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      auto tok = s.schedule_at(s.now() + i, [&sink] { ++sink; });
+      if (cancel_half && i % 2 == 0) tokens.push_back(tok);
+    }
+    for (auto& tok : tokens) tok.cancel();
+    s.run_all();
+    fired += kBatch;  // cancelled events count: cancel+skip is the work
+    t1 = wall_ms();
+  }
+  return fired / ((t1 - t0) / 1000.0);
+}
+
+std::vector<workload::ExperimentParams> suite() {
+  std::vector<workload::ExperimentParams> trials;
+  for (auto proto :
+       {workload::Protocol::kDqvl, workload::Protocol::kMajority}) {
+    for (std::uint64_t seed : {7u, 11u, 23u, 42u}) {
+      workload::ExperimentParams p;
+      p.protocol = proto;
+      p.write_ratio = 0.2;
+      p.locality = 0.9;
+      p.requests_per_client = 150;
+      p.seed = seed;
+      trials.push_back(p);
+    }
+  }
+  return trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) json_path = a.substr(7);
+  }
+  const std::size_t jobs = jobs_from_argv(argc, argv);
+  const auto hw = static_cast<unsigned>(run::resolve_jobs(0));
+
+  header("Throughput", "event-core and trial-suite performance");
+
+  const double sched = scheduler_events_per_sec(/*cancel_half=*/false);
+  const double sched_cancel = scheduler_events_per_sec(/*cancel_half=*/true);
+  row({"scheduler", "events/sec", fmt_sci(sched)}, 16);
+  row({"  50% cancelled", "events/sec", fmt_sci(sched_cancel)}, 16);
+
+  const auto trials = suite();
+  double t0 = wall_ms();
+  const auto serial = run::run_experiments(trials, 1);
+  const double serial_ms = wall_ms() - t0;
+  t0 = wall_ms();
+  const auto fanned = run::run_experiments(trials, jobs);
+  const double jobs_ms = wall_ms() - t0;
+
+  row({"suite (8 trials)", "serial ms", fmt(serial_ms, 1)}, 16);
+  row({"  --jobs=" + std::to_string(jobs), "ms", fmt(jobs_ms, 1),
+       "speedup " + fmt(serial_ms / jobs_ms, 2) + "x"},
+      16);
+  std::printf("hardware threads: %u\n", hw);
+
+  // Determinism spot-check rides along: the fanned-out suite must reproduce
+  // the serial reports byte for byte.
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (workload::report::to_json(trials[i], serial[i]) !=
+        workload::report::to_json(trials[i], fanned[i])) {
+      std::fprintf(stderr, "FAIL: trial %zu differs at --jobs=%zu\n", i,
+                   jobs);
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    return 0;
+  }
+  std::fprintf(f, "{\"schema\":\"dq.bench.v1\",\"bench\":\"sim_throughput\"");
+  std::fprintf(f,
+               ",\"throughput\":{\"scheduler_events_per_sec\":%.0f,"
+               "\"scheduler_events_per_sec_cancel_heavy\":%.0f,"
+               "\"suite_trials\":%zu,\"suite_serial_ms\":%.1f,"
+               "\"suite_jobs\":%zu,\"suite_jobs_ms\":%.1f,"
+               "\"suite_speedup\":%.2f,\"hardware_threads\":%u}",
+               sched, sched_cancel, trials.size(), serial_ms, jobs, jobs_ms,
+               serial_ms / jobs_ms, hw);
+  std::fprintf(f, ",\"runs\":[");
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "" : ",",
+                 workload::report::to_json(trials[i], serial[i]).c_str());
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu runs)\n", json_path.c_str(), trials.size());
+  return 0;
+}

@@ -15,7 +15,8 @@ using namespace dq::bench;
 
 namespace {
 
-workload::ExperimentResult run(workload::Protocol proto, double burstiness) {
+workload::ExperimentParams bursty_params(workload::Protocol proto,
+                                         double burstiness) {
   workload::ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = 0.3;
@@ -23,20 +24,29 @@ workload::ExperimentResult run(workload::Protocol proto, double burstiness) {
   p.requests_per_client = 400;
   p.seed = 63;
   p.choose_object = [](Rng&) { return ObjectId(5); };
-  return workload::run_experiment(p);
+  return p;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Workload study",
          "response time and overhead vs burstiness (30% writes, one object)");
   row({"burst", "DQVL(ms)", "DQVL msg/req", "majority(ms)", "maj msg/req"},
       14);
+  const std::vector<double> bursts{0.0, 0.3, 0.6, 0.8, 0.9, 0.95};
+  std::vector<workload::ExperimentParams> trials;
+  for (double b : bursts) {
+    trials.push_back(bursty_params(workload::Protocol::kDqvl, b));
+    trials.push_back(bursty_params(workload::Protocol::kMajority, b));
+  }
+  const auto results =
+      run::run_experiments(trials, jobs_from_argv(argc, argv));
   double dqvl_iid = 0, dqvl_bursty = 0;
-  for (double b : {0.0, 0.3, 0.6, 0.8, 0.9, 0.95}) {
-    const auto dq = run(workload::Protocol::kDqvl, b);
-    const auto mj = run(workload::Protocol::kMajority, b);
+  for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
+    const double b = bursts[bi];
+    const auto& dq = results[bi * 2];
+    const auto& mj = results[bi * 2 + 1];
     row({fmt(b, 2), fmt(dq.all_ms.mean(), 1),
          fmt(dq.messages_per_request, 1), fmt(mj.all_ms.mean(), 1),
          fmt(mj.messages_per_request, 1)},

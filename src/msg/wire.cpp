@@ -1,5 +1,7 @@
 #include "msg/wire.h"
 
+#include <array>
+
 namespace dq::msg {
 
 namespace {
@@ -76,6 +78,25 @@ struct NameOf {
 }  // namespace
 
 const char* payload_name(const Payload& p) { return std::visit(NameOf{}, p); }
+
+namespace {
+
+template <std::size_t... I>
+std::array<const char*, sizeof...(I)> make_type_names(
+    std::index_sequence<I...>) {
+  // Reuses NameOf so an alternative added without a name still fails to
+  // compile; the default-constructed instances exist only during this
+  // one-time table build.
+  return {NameOf{}(std::variant_alternative_t<I, Payload>{})...};
+}
+
+}  // namespace
+
+const char* payload_type_name(std::size_t index) {
+  static const std::array<const char*, payload_type_count()> kNames =
+      make_type_names(std::make_index_sequence<payload_type_count()>{});
+  return index < kNames.size() ? kNames[index] : "?";
+}
 
 bool is_server_to_server(const Payload& p) {
   return std::visit(

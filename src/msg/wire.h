@@ -329,8 +329,18 @@ using Payload = std::variant<
     AsyncRead, AsyncReadReply, AsyncWrite, AsyncWriteAck, GossipUpdate,
     AeDigest, AeUpdates>;
 
+// Number of alternatives in Payload (for dense per-type accounting arrays).
+[[nodiscard]] constexpr std::size_t payload_type_count() {
+  return std::variant_size_v<Payload>;
+}
+
 // Human-readable name of the payload's alternative, for stats and tracing.
 [[nodiscard]] const char* payload_name(const Payload& p);
+
+// Name of alternative `index` (== payload_name of a payload whose index()
+// is `index`).  Lets hot-path counters key by index and translate to the
+// human-readable name only at report time.
+[[nodiscard]] const char* payload_type_name(std::size_t index);
 
 // True for message types that are internal to the replication machinery
 // (server <-> server), false for client-facing request/reply traffic.  The

@@ -1,0 +1,46 @@
+#include "run/parallel_runner.h"
+
+#include <atomic>
+#include <thread>
+
+namespace dq::run {
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_index(std::size_t n, std::size_t jobs,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers = jobs < n ? jobs : n;
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<workload::ExperimentResult> run_experiments(
+    const std::vector<workload::ExperimentParams>& trials, std::size_t jobs) {
+  std::vector<workload::ExperimentResult> results(trials.size());
+  parallel_for_index(trials.size(), jobs, [&](std::size_t i) {
+    results[i] = workload::run_experiment(trials[i]);
+  });
+  return results;
+}
+
+}  // namespace dq::run

@@ -1,0 +1,43 @@
+// Parallel trial runner: fan independent simulations out across a thread
+// pool.
+//
+// A simulation is a pure function of its ExperimentParams (seed included):
+// each trial builds its own World, draws from its own Rng, and shares no
+// mutable state with any other trial.  That makes a sweep embarrassingly
+// parallel -- and, crucially, makes parallelism UNOBSERVABLE in the output:
+// results are returned in trial-index order, so a report assembled from
+// run_experiments(trials, 8) is byte-identical to one assembled from
+// run_experiments(trials, 1) (tests/parallel_runner_test.cpp holds this
+// against checked-in golden reports).
+//
+// This directory is the ONLY place in the tree allowed to touch threading
+// primitives; dqlint's det-thread rule enforces that the deterministic
+// simulator core stays single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace dq::run {
+
+// Resolve a --jobs request: 0 means "one per hardware thread"; anything
+// else is used as given.  Never returns 0.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested);
+
+// Invoke fn(i) once for every i in [0, n), spread over min(jobs, n) worker
+// threads.  Work is handed out by an atomic ticket counter, so WHICH thread
+// runs a given index is scheduling-dependent -- callers must write only to
+// per-index state (e.g. results[i]).  jobs <= 1 runs inline on the calling
+// thread with no thread machinery at all.  Blocks until every index ran.
+void parallel_for_index(std::size_t n, std::size_t jobs,
+                        const std::function<void(std::size_t)>& fn);
+
+// Run every trial (each through its own World) and return the results in
+// trial-index order.
+[[nodiscard]] std::vector<workload::ExperimentResult> run_experiments(
+    const std::vector<workload::ExperimentParams>& trials, std::size_t jobs);
+
+}  // namespace dq::run

@@ -12,20 +12,14 @@ Topology::Topology(Params p) : p_(p) {
   for (std::size_t i = 0; i < p_.num_clients; ++i) {
     home_[i] = server(i % p_.num_servers);
   }
-}
-
-std::vector<NodeId> Topology::servers() const {
-  std::vector<NodeId> out;
-  out.reserve(p_.num_servers);
-  for (std::size_t i = 0; i < p_.num_servers; ++i) out.push_back(server(i));
-  return out;
-}
-
-std::vector<NodeId> Topology::clients() const {
-  std::vector<NodeId> out;
-  out.reserve(p_.num_clients);
-  for (std::size_t i = 0; i < p_.num_clients; ++i) out.push_back(client(i));
-  return out;
+  servers_.reserve(p_.num_servers);
+  for (std::size_t i = 0; i < p_.num_servers; ++i) {
+    servers_.push_back(server(i));
+  }
+  clients_.reserve(p_.num_clients);
+  for (std::size_t i = 0; i < p_.num_clients; ++i) {
+    clients_.push_back(client(i));
+  }
 }
 
 NodeId Topology::home_of(NodeId c) const {
@@ -87,20 +81,30 @@ std::uint64_t MessageStats::count(const msg::Payload& p) {
   const std::uint64_t size = msg::approximate_size(p);
   bytes_ += size;
   if (msg::is_server_to_server(p)) ++s2s_;
-  ++by_type_[msg::payload_name(p)];
+  ++by_type_[p.index()];
   return size;
 }
 
 std::uint64_t MessageStats::by_type(const std::string& name) const {
-  auto it = by_type_.find(name);
-  return it == by_type_.end() ? 0 : it->second;
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
+    if (name == msg::payload_type_name(i)) return by_type_[i];
+  }
+  return 0;
+}
+
+std::map<std::string, std::uint64_t> MessageStats::table() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
+    if (by_type_[i] > 0) out.emplace(msg::payload_type_name(i), by_type_[i]);
+  }
+  return out;
 }
 
 void MessageStats::reset() {
   total_ = 0;
   bytes_ = 0;
   s2s_ = 0;
-  by_type_.clear();
+  by_type_.fill(0);
 }
 
 }  // namespace dq::sim

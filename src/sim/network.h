@@ -9,6 +9,7 @@
 // request/reply pair reproduces the paper's RTTs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -87,8 +88,11 @@ class Topology {
   [[nodiscard]] NodeId client(std::size_t i) const {
     return NodeId(static_cast<std::uint32_t>(p_.num_servers + i));
   }
-  [[nodiscard]] std::vector<NodeId> servers() const;
-  [[nodiscard]] std::vector<NodeId> clients() const;
+  // Cached at construction (node ids are dense and the counts are fixed);
+  // these sit on quorum-assembly paths, so rebuilding them per call was a
+  // measurable allocation source.
+  [[nodiscard]] const std::vector<NodeId>& servers() const { return servers_; }
+  [[nodiscard]] const std::vector<NodeId>& clients() const { return clients_; }
 
   // The client's closest edge server.  Default assignment: client i is
   // homed at server (i mod num_servers); override with set_home.
@@ -105,6 +109,8 @@ class Topology {
  private:
   Params p_;
   std::vector<NodeId> home_;  // per client index
+  std::vector<NodeId> servers_;
+  std::vector<NodeId> clients_;
 };
 
 // Mutable fault state: per-node reachability, network partitions,
@@ -155,16 +161,17 @@ class MessageStats {
   [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }
   [[nodiscard]] std::uint64_t server_to_server() const { return s2s_; }
   [[nodiscard]] std::uint64_t by_type(const std::string& name) const;
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& table() const {
-    return by_type_;
-  }
+  // Name-keyed table for reports.  Built on demand: the hot-path counter is
+  // a dense array indexed by the payload's variant index (no string
+  // construction or map lookup per message); names only exist here.
+  [[nodiscard]] std::map<std::string, std::uint64_t> table() const;
   void reset();
 
  private:
   std::uint64_t total_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t s2s_ = 0;
-  std::map<std::string, std::uint64_t> by_type_;
+  std::array<std::uint64_t, msg::payload_type_count()> by_type_{};
 };
 
 }  // namespace dq::sim

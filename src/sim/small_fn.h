@@ -1,0 +1,144 @@
+// SmallFn: a move-only `void()` callable with inline small-buffer storage.
+//
+// The event scheduler fires millions of callbacks per experiment, and a
+// std::function costs one heap allocation per capture that outgrows its
+// (implementation-defined, typically 16-byte) inline buffer -- which every
+// in-flight Envelope does.  SmallFn sizes the buffer explicitly so the hot
+// callbacks (message delivery, protocol timers) are guaranteed to live
+// inline inside the scheduler's event pool; anything larger falls back to a
+// single heap cell, it is never a compile error.
+//
+// Dispatch is a per-type operations table (invoke / relocate / destroy)
+// instead of a virtual base, so an empty SmallFn is one null pointer and a
+// move is at most a memcpy-sized relocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dq::sim {
+
+template <std::size_t Capacity>
+class SmallFn {
+ public:
+  // True when callables of type F are stored in the inline buffer (no heap).
+  // Exposed so hot paths can static_assert their captures stay pooled.
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule/timer call site
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { take(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  // Assign a callable in place -- one construction directly into the
+  // buffer, no temporary SmallFn and no relocate (the scheduler's schedule
+  // path leans on this).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-construct the callable at `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename F>
+  static const Ops* inline_ops() {
+    static constexpr Ops kOps = {
+        [](void* self) { (*std::launder(static_cast<F*>(self)))(); },
+        [](void* dst, void* src) noexcept {
+          F* from = std::launder(static_cast<F*>(src));
+          ::new (dst) F(std::move(*from));
+          from->~F();
+        },
+        [](void* self) noexcept { std::launder(static_cast<F*>(self))->~F(); },
+    };
+    return &kOps;
+  }
+
+  // Heap fallback: the buffer holds one F*.
+  template <typename F>
+  static const Ops* heap_ops() {
+    static constexpr Ops kOps = {
+        [](void* self) { (**static_cast<F**>(self))(); },
+        [](void* dst, void* src) noexcept {
+          *static_cast<F**>(dst) = *static_cast<F**>(src);
+        },
+        [](void* self) noexcept { delete *static_cast<F**>(self); },
+    };
+    return &kOps;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      *reinterpret_cast<D**>(&storage_) = new D(std::forward<F>(f));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  void take(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(&storage_, &other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dq::sim

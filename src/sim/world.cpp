@@ -77,10 +77,18 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
       continue;
     }
     const Duration delay = topo_.one_way_delay(src, dst, rng_);
-    Envelope env{src, dst, rpc_id, body, is_reply};
-    sched_.schedule_after(delay, [this, env = std::move(env)]() mutable {
+    // The last copy moves the body instead of copying it (duplication is
+    // rare, so the common case is zero payload copies past this point).
+    Envelope env{src, dst, rpc_id,
+                 c + 1 == copies ? std::move(body) : body, is_reply};
+    auto fire = [this, env = std::move(env)]() mutable {
       deliver(std::move(env));
-    });
+    };
+    // The delivery lambda is the hottest event in the simulator; keep it in
+    // the scheduler's inline pool (see Scheduler::kCallbackCapacity).
+    static_assert(Scheduler::EventFn::fits_inline<decltype(fire)>(),
+                  "delivery callback must fit the scheduler's inline buffer");
+    sched_.schedule_after(delay, std::move(fire));
   }
 }
 
@@ -99,24 +107,6 @@ void World::deliver(Envelope env) {
   ++received_by_.at(idx);
   m_delivered_->inc();
   a->on_message(env);
-}
-
-TimerToken World::set_timer(NodeId node, Duration delay,
-                            std::function<void()> fn) {
-  const auto idx = node.value();
-  const std::uint64_t inc = incarnation_.at(idx);
-  return sched_.schedule_after(
-      delay, [this, idx, inc, fn = std::move(fn)]() {
-        if (crashed_.at(idx) || incarnation_.at(idx) != inc) return;
-        fn();
-      });
-}
-
-TimerToken World::set_timer_local(NodeId node, Time local_when,
-                                  std::function<void()> fn) {
-  const Time global_when = clock_of(node).global_time(local_when);
-  const Duration delay = global_when - now();
-  return set_timer(node, delay < 0 ? 0 : delay, std::move(fn));
 }
 
 void World::crash(NodeId node) {

@@ -89,11 +89,28 @@ class World {
   // Schedule `fn` at `node` after `delay` (on the global clock).  The
   // callback is dropped if the node crashed in the meantime (its process
   // restarted); it still fires while the node is merely partitioned.
-  TimerToken set_timer(NodeId node, Duration delay, std::function<void()> fn);
+  //
+  // Templated on the callable so the caller's capture lands directly in the
+  // scheduler's inline event pool (one std::function per timer used to be a
+  // heap allocation on the hot path).
+  template <typename F>
+  TimerToken set_timer(NodeId node, Duration delay, F fn) {
+    const auto idx = node.value();
+    const std::uint64_t inc = incarnation_.at(idx);
+    return sched_.schedule_after(
+        delay, [this, idx, inc, fn = std::move(fn)]() mutable {
+          if (crashed_.at(idx) || incarnation_.at(idx) != inc) return;
+          fn();
+        });
+  }
 
   // Schedule `fn` to fire when `node`'s LOCAL clock reaches `local_when`.
-  TimerToken set_timer_local(NodeId node, Time local_when,
-                             std::function<void()> fn);
+  template <typename F>
+  TimerToken set_timer_local(NodeId node, Time local_when, F fn) {
+    const Time global_when = clock_of(node).global_time(local_when);
+    const Duration delay = global_when - now();
+    return set_timer(node, delay < 0 ? 0 : delay, std::move(fn));
+  }
 
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] RequestId fresh_rpc_id() { return RequestId(++next_rpc_id_); }

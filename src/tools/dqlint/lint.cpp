@@ -191,6 +191,7 @@ const char* kRuleDetWallClock = "det-wall-clock";
 const char* kRuleDetRandomDevice = "det-random-device";
 const char* kRuleDetRngEngine = "det-rng-engine";
 const char* kRuleDetPtrKey = "det-ptr-key";
+const char* kRuleDetThread = "det-thread";
 const char* kRuleProtoDirectSend = "proto-direct-send";
 const char* kRuleProtoEpochCompare = "proto-epoch-compare";
 const char* kRuleProtoObsRead = "proto-obs-read";
@@ -208,69 +209,90 @@ const std::vector<RuleInfo>& rules() {
        "defined, so any walk puts hash order on the wire or in the schedule;"
        " use std::map/std::set",
        kDetScope,
+       {},
        {}},
       {kRuleDetRand,
        "libc rand/random family: unseeded global state outside the "
        "experiment seed; draw from dq::Rng",
        kDetScope,
+       {},
        {}},
       {kRuleDetWallClock,
        "wall-clock read (time/clock/gettimeofday/system_clock/...): real "
        "time breaks simulation determinism; use sim::World::now() or "
        "local_now()",
        kDetScope,
+       {},
        {}},
       {kRuleDetRandomDevice,
        "std::random_device is non-deterministic by design; seed dq::Rng "
        "from the experiment seed",
        kDetScope,
+       {},
        {}},
       {kRuleDetRngEngine,
        "std <random> engine or unseeded Rng(): default seeding hides the "
        "stream from the experiment seed; all randomness flows through a "
        "seeded dq::Rng (split() for child streams)",
        kDetScope,
+       {},
        {}},
       {kRuleDetPtrKey,
        "pointer-keyed ordered container: iteration order follows allocation "
        "addresses, which differ run to run; key by a strong id instead",
        kDetScope,
+       {},
+       {}},
+      {kRuleDetThread,
+       "std threading primitive (thread/async/mutex/atomic/...): a World is "
+       "single-threaded by contract -- parallelism lives in src/run/, which "
+       "fans out whole Worlds; threads anywhere else race the deterministic "
+       "schedule",
+       {},
+       {"src/run/"},
        {}},
       {kRuleProtoDirectSend,
        "direct world_.send/send_tagged in a dual-quorum server: replies "
        "must route through world_.reply or the QRPC engine so retransmission "
        "and reply accounting stay correct",
        {"src/core/"},
+       {},
        {}},
       {kRuleProtoEpochCompare,
        "raw comparison/max on an epoch field: use msg::epoch_matches/"
        "epoch_newer/epoch_max (msg/epoch.h) so both protocol sides agree on "
        "epoch semantics",
        {"src/core/", "src/protocols/"},
+       {},
        {}},
       {kRuleProtoObsRead,
        "obs/ instrument read (m_*->value/max/data) in protocol code: "
        "metrics are write-only in decision paths, else observability "
        "perturbs the protocol",
        {"src/core/", "src/protocols/", "src/rpc/"},
+       {},
        {}},
       {kRuleHygAssert,
        "assert()/<cassert> vanishes under NDEBUG; protocol invariants use "
        "the always-on DQ_INVARIANT (common/assert.h)",
+       {},
        {},
        {"src/common/assert.h"}},
       {kRuleHygNakedNew,
        "naked new/delete in protocol code; own memory with std::unique_ptr/"
        "std::make_shared",
        {"src/core/", "src/protocols/", "src/rpc/", "src/quorum/"},
+       {},
        {}},
       {kRuleBadSuppression,
        "malformed dqlint:allow directive (unknown rule id or missing "
        "': justification')",
        {},
+       {},
        {}},
       {kRuleUnusedSuppression,
        "dqlint:allow directive that suppresses nothing; delete it",
+       {},
        {},
        {}},
   };
@@ -290,6 +312,9 @@ bool rule_active(const RuleInfo& r, const std::string& path,
   if (!apply_scopes) return true;
   for (const std::string& f : r.exempt_files) {
     if (path == f) return false;
+  }
+  for (const std::string& p : r.exempt_prefixes) {
+    if (path.compare(0, p.size(), p) == 0) return false;
   }
   if (r.prefixes.empty()) return true;
   return std::any_of(r.prefixes.begin(), r.prefixes.end(),
@@ -384,6 +409,21 @@ std::vector<Diagnostic> run_rules(const std::string& path,
   static const std::set<std::string_view> kOrdered = {"map", "set", "multimap",
                                                       "multiset"};
   static const std::set<std::string_view> kObsReads = {"value", "max", "data"};
+  static const std::set<std::string_view> kThreadIdents = {
+      "thread",         "jthread",        "async",
+      "mutex",          "timed_mutex",    "recursive_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "condition_variable",              "condition_variable_any",
+      "future",         "shared_future",  "promise",
+      "packaged_task",  "atomic",         "atomic_flag",
+      "atomic_ref",     "counting_semaphore", "binary_semaphore",
+      "latch",          "barrier",        "lock_guard",
+      "unique_lock",    "scoped_lock",    "shared_lock",
+      "call_once",      "once_flag",      "stop_token"};
+  static const std::set<std::string_view> kThreadHeaders = {
+      "thread", "mutex",     "shared_mutex", "condition_variable",
+      "future", "atomic",    "semaphore",    "latch",
+      "barrier", "stop_token"};
 
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const Token& tok = tokens[i];
@@ -443,6 +483,17 @@ std::vector<Diagnostic> run_rules(const std::string& path,
       }
       if (!aborted && last != nullptr && last->text == "*") {
         flag(kRuleDetPtrKey, tok.line, "std::" + tok.text + "<T*, ...>");
+      }
+    }
+    if (active(kRuleDetThread)) {
+      // std::-qualified uses, plus the headers that supply them.  Bare
+      // identifiers named `thread` etc. are legal.
+      if (kThreadIdents.count(tok.text) != 0 && i >= 2 &&
+          m.text_is(i - 1, "::") && m.ident_is(i - 2, "std")) {
+        flag(kRuleDetThread, tok.line, "std::" + tok.text);
+      } else if (kThreadHeaders.count(tok.text) != 0 && i >= 2 &&
+                 m.text_is(i - 1, "<") && m.ident_is(i - 2, "include")) {
+        flag(kRuleDetThread, tok.line, "#include <" + tok.text + ">");
       }
     }
     if (active(kRuleProtoDirectSend) && tok.text == "world_" &&

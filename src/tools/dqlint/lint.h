@@ -58,6 +58,10 @@ struct RuleInfo {
   // Path prefixes (relative to the scan root, '/'-separated) the rule
   // applies to; empty = every scanned file.
   std::vector<std::string> prefixes;
+  // Path prefixes exempt from the rule even when a `prefixes` entry (or an
+  // empty-prefix "everywhere" scope) matches -- e.g. the one directory
+  // allowed to own threads.
+  std::vector<std::string> exempt_prefixes;
   // Exact relative paths exempt from the rule (e.g. the one file allowed
   // to define assertion macros).
   std::vector<std::string> exempt_files;

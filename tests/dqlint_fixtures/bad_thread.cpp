@@ -1,0 +1,25 @@
+// det-thread: std threading primitives outside src/run/.
+//
+// Lint input only -- never compiled.  Expected: 5 det-thread diagnostics
+// (two includes, std::thread, std::mutex, std::async) and nothing else.
+#include <thread>  // fires
+#include <mutex>   // fires
+
+struct Pool {
+  void async(int) {}
+};
+
+void worker();
+
+void f(Pool& pool) {
+  std::thread t(worker);          // fires
+  std::mutex m;                   // fires
+  auto fut = std::async(worker);  // fires
+  pool.async(1);                  // member call: quiet
+  int thread = 0;                 // bare identifier: quiet
+  (void)t;
+  (void)m;
+  (void)fut;
+  (void)thread;
+  // std::condition_variable in prose stays quiet.
+}

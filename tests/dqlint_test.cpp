@@ -76,6 +76,14 @@ TEST(DqlintRules, PointerKeys) {
   EXPECT_EQ(counts.size(), 1u);
 }
 
+TEST(DqlintRules, ThreadPrimitives) {
+  // Two includes + std::thread + std::mutex + std::async; member calls and
+  // bare identifiers named `thread` stay quiet.
+  const auto counts = rule_counts(lint_fixture("bad_thread.cpp"));
+  EXPECT_EQ(counts.at("det-thread"), 5);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
 TEST(DqlintRules, DirectSend) {
   const auto counts = rule_counts(lint_fixture("bad_direct_send.cpp"));
   EXPECT_EQ(counts.at("proto-direct-send"), 2);  // send + send_tagged, not reply
@@ -142,6 +150,19 @@ TEST(DqlintScopes, ExemptFileSkipsRule) {
   EXPECT_EQ(lint_source("src/sim/x.cpp", src, true).diagnostics.size(), 1u);
   EXPECT_TRUE(
       lint_source("src/common/assert.h", src, true).diagnostics.empty());
+}
+
+TEST(DqlintScopes, ThreadRuleExemptsParallelRunner) {
+  const std::string src = "#include <thread>\nstd::thread t;\n";
+  // Everywhere else the rule fires (include + declaration)...
+  EXPECT_EQ(lint_source("src/sim/x.cpp", src, true).diagnostics.size(), 2u);
+  EXPECT_EQ(lint_source("src/workload/x.cpp", src, true).diagnostics.size(),
+            2u);
+  // ...but src/run/ owns the trial fan-out and is exempt by prefix.
+  EXPECT_TRUE(lint_source("src/run/parallel_runner.cpp", src, true)
+                  .diagnostics.empty());
+  EXPECT_TRUE(
+      lint_source("src/run/parallel_runner.h", src, true).diagnostics.empty());
 }
 
 TEST(DqlintScopes, DirectSendScopedToCore) {

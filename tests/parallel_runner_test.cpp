@@ -1,0 +1,124 @@
+// The parallel trial runner's contract: parallelism is unobservable.  A
+// dq.report.v1 document rendered from a trial run at --jobs 8 must be
+// byte-identical to the one from --jobs 1 -- and both must be byte-identical
+// to the reports the SERIAL simulator produced before the event-core rewrite
+// (the checked-in tests/golden/ files), so the fast path provably changed
+// nothing observable.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "run/parallel_runner.h"
+#include "workload/report.h"
+
+namespace dq::run {
+namespace {
+
+using workload::ExperimentParams;
+using workload::Protocol;
+
+// The golden matrix: two protocols x two seeds, with enough loss and jitter
+// that the run exercises retries, reordering, and drops.  These parameters
+// must not change -- tests/golden/*.json were generated from them.
+ExperimentParams golden_params(Protocol proto, std::uint64_t seed) {
+  ExperimentParams p;
+  p.protocol = proto;
+  p.write_ratio = 0.2;
+  p.locality = 0.9;
+  p.requests_per_client = 120;
+  p.loss = 0.02;
+  p.topo.jitter = 0.1;
+  p.seed = seed;
+  return p;
+}
+
+struct Cell {
+  Protocol proto;
+  const char* name;
+  std::uint64_t seed;
+};
+
+const Cell kCells[] = {
+    {Protocol::kDqvl, "dqvl", 7},
+    {Protocol::kDqvl, "dqvl", 11},
+    {Protocol::kMajority, "majority", 7},
+    {Protocol::kMajority, "majority", 11},
+};
+
+std::vector<std::string> reports_at(std::size_t jobs) {
+  std::vector<ExperimentParams> trials;
+  for (const Cell& c : kCells) trials.push_back(golden_params(c.proto, c.seed));
+  const auto results = run_experiments(trials, jobs);
+  std::vector<std::string> docs;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    docs.push_back(workload::report::to_json(trials[i], results[i]));
+  }
+  return docs;
+}
+
+std::string read_golden(const Cell& c) {
+  const std::string path = std::string(DQ_GOLDEN_DIR) + "/report_" + c.name +
+                           "_seed" + std::to_string(c.seed) + ".json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ParallelRunner, ReportsByteIdenticalAcrossJobCounts) {
+  const auto serial = reports_at(1);
+  for (const std::size_t jobs : {2u, 8u}) {
+    const auto threaded = reports_at(jobs);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], threaded[i])
+          << "cell " << i << " diverges at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunner, ReportsMatchPreRewriteGoldenFiles) {
+  const auto docs = reports_at(8);
+  for (std::size_t i = 0; i < std::size(kCells); ++i) {
+    // The generator wrote each document with a trailing newline.
+    EXPECT_EQ(docs[i] + "\n", read_golden(kCells[i]))
+        << "report for " << kCells[i].name << " seed " << kCells[i].seed
+        << " no longer matches the pre-rewrite simulator output";
+  }
+}
+
+TEST(ParallelRunner, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(5), 5u);
+  EXPECT_GE(resolve_jobs(0), 1u);  // hardware concurrency, never zero
+}
+
+TEST(ParallelRunner, ParallelForIndexRunsEveryIndexExactlyOnce) {
+  for (const std::size_t jobs : {1u, 3u, 16u}) {
+    constexpr std::size_t kN = 97;  // not a multiple of any worker count
+    // Each index writes only its own slot, per the runner's contract, so
+    // a correct runner has no write-write races here (the tsan smoke binary
+    // checks the same machinery under -fsanitize=thread).
+    std::vector<int> hits(kN, 0);
+    parallel_for_index(kN, jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunner, ParallelForIndexHandlesEmptyAndSingle) {
+  bool ran = false;
+  parallel_for_index(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  std::size_t seen = 0;
+  parallel_for_index(1, 8, [&](std::size_t i) { seen = i + 1; });
+  EXPECT_EQ(seen, 1u);
+}
+
+}  // namespace
+}  // namespace dq::run

@@ -122,5 +122,135 @@ TEST(Scheduler, NegativeDelayClampsToNow) {
   EXPECT_TRUE(ran);
 }
 
+// --- event-pool edge cases: generation-checked tokens and slot reuse -------
+
+TEST(Scheduler, CancelTwiceIsHarmless) {
+  Scheduler s;
+  bool ran = false;
+  TimerToken t = s.schedule_at(10, [&] { ran = true; });
+  t.cancel();
+  t.cancel();  // second cancel hits a recycled (or free) slot: must no-op
+  EXPECT_FALSE(t.pending());
+  s.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, StaleTokenDoesNotCancelSlotReuser) {
+  Scheduler s;
+  // Fire an event, keep its (now stale) token...
+  TimerToken stale = s.schedule_at(10, [] {});
+  s.run_all();
+  EXPECT_FALSE(stale.pending());
+  // ...then schedule a new event.  The pool reuses the drained slot, so a
+  // buggy token would now point at the NEW event.
+  bool ran = false;
+  s.schedule_at(20, [&] { ran = true; });
+  stale.cancel();  // must not cancel the reuser
+  EXPECT_FALSE(stale.pending());
+  s.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, TokenOutlivesDrainedQueue) {
+  Scheduler s;
+  TimerToken t;
+  {
+    t = s.schedule_at(5, [] {});
+  }
+  s.run_all();
+  EXPECT_TRUE(s.empty());
+  // The queue is fully drained; the token must report not-pending and stay
+  // inert through cancels even though its slot sits on the free list.
+  EXPECT_FALSE(t.pending());
+  t.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, PoolReuseDoesNotResurrectCancelledEvents) {
+  Scheduler s;
+  int cancelled_runs = 0;
+  int live_runs = 0;
+  // Cancel a batch of events, then refill the (recycled) slots with new
+  // ones at the same timestamps.  Only the new batch may fire, exactly once.
+  std::vector<TimerToken> doomed;
+  doomed.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    doomed.push_back(s.schedule_at(10, [&] { ++cancelled_runs; }));
+  }
+  for (TimerToken& t : doomed) t.cancel();
+  for (int i = 0; i < 50; ++i) {
+    s.schedule_at(10, [&] { ++live_runs; });
+  }
+  s.run_all();
+  EXPECT_EQ(cancelled_runs, 0);
+  EXPECT_EQ(live_runs, 50);
+  EXPECT_EQ(s.executed_events(), 50u);
+}
+
+TEST(Scheduler, EqualTimeFifoSurvivesInterleavedCancels) {
+  Scheduler s;
+  // Cancellations between same-timestamp insertions must not disturb the
+  // insertion order of the survivors (the heap sees stale entries).
+  std::vector<int> order;
+  std::vector<TimerToken> cancelled;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 2 == 0) {
+      s.schedule_at(5, [&order, i] { order.push_back(i); });
+    } else {
+      cancelled.push_back(s.schedule_at(5, [] {}));
+    }
+  }
+  for (TimerToken& t : cancelled) t.cancel();
+  s.run_all();
+  std::vector<int> expect;
+  for (int i = 0; i < 20; i += 2) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Scheduler, CancelFromInsideOwnCallbackIsHarmless) {
+  Scheduler s;
+  int runs = 0;
+  TimerToken t;
+  t = s.schedule_at(10, [&] {
+    ++runs;
+    t.cancel();  // self-cancel mid-fire: the slot is already retired
+  });
+  s.run_all();
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, CallbackMaySchedule) {
+  Scheduler s;
+  // A firing event's slot stays busy while its callback runs, so a callback
+  // scheduling a follow-up takes a second slot; a self-rescheduling chain
+  // then ping-pongs between those two slots instead of growing the pool.
+  std::vector<Time> fired;
+  std::function<void()> chain = [&] {
+    fired.push_back(s.now());
+    if (fired.size() < 50) s.schedule_after(1, chain);
+  };
+  s.schedule_at(1, chain);
+  s.run_all();
+  ASSERT_EQ(fired.size(), 50u);
+  EXPECT_EQ(fired.front(), 1);
+  EXPECT_EQ(fired.back(), 50);
+  EXPECT_LE(s.pool_slots(), 2u);  // recycled, not grown
+}
+
+TEST(Scheduler, PoolRecyclesSlotsUnderChurn) {
+  Scheduler s;
+  // A bounded number of in-flight events must bound the pool no matter how
+  // many total events run: the hot loop reuses slots instead of growing.
+  int remaining = 10000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) s.schedule_after(1, tick);
+  };
+  for (int i = 0; i < 4; ++i) s.schedule_at(0, tick);
+  s.run_all();
+  EXPECT_GE(s.executed_events(), 10000u);
+  EXPECT_LE(s.pool_slots(), 256u);  // one chunk, not 10000 slots
+}
+
 }  // namespace
 }  // namespace dq::sim

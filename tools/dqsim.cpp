@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "run/parallel_runner.h"
 #include "workload/experiment.h"
 #include "workload/flags.h"
 #include "workload/report.h"
@@ -33,6 +34,8 @@ constexpr FlagHelp kToolFlags[] = {
     {"trace", "print the last N protocol trace events (default 40)"},
     {"sweep", "sweep a parameter: writes|locality|burst, e.g."
               " --sweep=writes prints a table over [0,1]"},
+    {"jobs", "run --sweep points on N threads (0 = one per hardware "
+             "thread; output is identical at any N)"},
 };
 
 void usage() {
@@ -79,21 +82,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::size_t jobs = 1;
+  if (flags.count("jobs") != 0) {
+    jobs = run::resolve_jobs(
+        static_cast<std::size_t>(std::strtoul(flags["jobs"].c_str(),
+                                              nullptr, 10)));
+  }
+
   if (flags.count("sweep") != 0) {
     const std::string dim = flags["sweep"];
     if (dim != "writes" && dim != "locality" && dim != "burst") {
       std::fprintf(stderr, "--sweep expects writes|locality|burst\n");
       return 2;
     }
-    std::printf("%-8s %10s %10s %10s %10s %10s\n", dim.c_str(), "read ms",
-                "write ms", "overall", "msgs/req", "avail");
-    for (double x : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const std::vector<double> points{0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+    std::vector<ExperimentParams> trials;
+    for (double x : points) {
       ExperimentParams q = p;
       if (dim == "writes") q.write_ratio = x;
       if (dim == "locality") q.locality = x;
       if (dim == "burst") q.burstiness = x;
-      const ExperimentResult sr = run_experiment(q);
-      std::printf("%-8.2f %10.1f %10.1f %10.1f %10.1f %10.4f\n", x,
+      trials.push_back(q);
+    }
+    // Sweep points are independent simulations; fan out over --jobs threads
+    // and print in point order (identical output at any job count).
+    const auto results = run::run_experiments(trials, jobs);
+    std::printf("%-8s %10s %10s %10s %10s %10s\n", dim.c_str(), "read ms",
+                "write ms", "overall", "msgs/req", "avail");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const ExperimentResult& sr = results[i];
+      std::printf("%-8.2f %10.1f %10.1f %10.1f %10.1f %10.4f\n", points[i],
                   sr.read_ms.mean(), sr.write_ms.mean(), sr.all_ms.mean(),
                   sr.messages_per_request, sr.availability());
     }
