@@ -1,0 +1,111 @@
+// WAL sync-policy overhead on the DQVL write path (docs/PROTOCOL.md §6).
+//
+// Same workload per cell; the only knob is the durability policy:
+//   off    -- no WAL (the legacy durable-fiction model; the floor)
+//   sync   -- fsync every write (pipelined), 2 ms medium latency
+//   group  -- group commit, 10 ms flush interval
+//   async  -- ack without waiting for the medium (unsafe under crashes;
+//             the negative control: durability-free latency WITH the log)
+//
+// The bench self-checks the orderings that make the model meaningful:
+// sync-every-write syncs once per append while group commit batches
+// (fewer syncs than appends), and a record's commit latency -- append to
+// medium-durable, wal.commit_ms -- is lowest under sync-every-write (the
+// 2 ms sync latency) and roughly the flush interval under both batching
+// policies (group commit, and async's background flush).  Async's edge is
+// not commit latency but that acks never wait for it.  A policy change
+// that silently broke the cost model would fail here before it skewed a
+// paper figure.
+#include <optional>
+
+#include "bench_util.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+namespace {
+
+workload::ExperimentParams wal_params(std::optional<store::SyncPolicy> policy) {
+  workload::ExperimentParams p;
+  p.protocol = workload::Protocol::kDqvl;
+  p.write_ratio = 0.3;
+  p.locality = 0.85;
+  p.requests_per_client = 250;
+  p.seed = 17;
+  if (policy.has_value()) {
+    store::WalParams w;
+    w.policy = *policy;
+    w.sync_latency = sim::milliseconds(2);
+    w.flush_interval = sim::milliseconds(10);
+    p.wal = w;
+  }
+  return p;
+}
+
+double commit_ms(const workload::ExperimentResult& r) {
+  const obs::HistogramData* h = r.metrics.histogram("wal.commit_ms");
+  return h == nullptr ? 0.0 : h->mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reporter rep("wal_overhead", argc, argv);
+  header("Durability", "WAL sync-policy overhead on the DQVL write path");
+  row({"policy", "write(ms)", "read(ms)", "appends", "syncs", "commit(ms)"});
+
+  const std::optional<store::SyncPolicy> policies[] = {
+      std::nullopt,
+      store::SyncPolicy::kSyncEveryWrite,
+      store::SyncPolicy::kGroupCommit,
+      store::SyncPolicy::kAsync,
+  };
+  std::vector<workload::ExperimentParams> trials;
+  for (const auto& pol : policies) trials.push_back(wal_params(pol));
+  const auto results = rep.run_batch(trials);
+
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& r = results[i];
+    const char* name = trials[i].wal.has_value()
+                           ? store::to_string(trials[i].wal->policy)
+                           : "off";
+    if (!r.violations.empty()) {
+      std::fprintf(stderr, "FAIL: %zu violations under policy %s\n",
+                   r.violations.size(), name);
+      return 1;
+    }
+    row({name, fmt(r.write_ms.mean()), fmt(r.read_ms.mean()),
+         std::to_string(r.metrics.counter("wal.appends")),
+         std::to_string(r.metrics.counter("wal.syncs")), fmt(commit_ms(r), 3)});
+  }
+
+  const auto& r_sync = results[1];
+  const auto& r_group = results[2];
+  const auto& r_async = results[3];
+  bool ok = true;
+  if (r_sync.metrics.counter("wal.syncs") !=
+      r_sync.metrics.counter("wal.appends")) {
+    std::fprintf(stderr, "FAIL: sync-every-write did not sync per append\n");
+    ok = false;
+  }
+  if (r_group.metrics.counter("wal.syncs") >=
+      r_group.metrics.counter("wal.appends")) {
+    std::fprintf(stderr, "FAIL: group commit did not batch\n");
+    ok = false;
+  }
+  if (r_sync.metrics.counter("wal.syncs") <
+      r_group.metrics.counter("wal.syncs")) {
+    std::fprintf(stderr, "FAIL: sync-every-write issued fewer syncs than "
+                         "group commit\n");
+    ok = false;
+  }
+  if (!(commit_ms(r_sync) < commit_ms(r_group) &&
+        commit_ms(r_sync) < commit_ms(r_async))) {
+    std::fprintf(stderr, "FAIL: per-record commit latency is not lowest "
+                         "under sync-every-write\n");
+    ok = false;
+  }
+  std::printf("\nordering checks: %s (sync: one sync per append, lowest "
+              "commit latency; group/async: batched)\n", ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

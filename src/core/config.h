@@ -9,11 +9,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 
 #include "quorum/quorum.h"
 #include "rpc/qrpc.h"
 #include "sim/time.h"
 #include "store/object_store.h"
+#include "store/wal.h"
 
 namespace dq::core {
 
@@ -52,6 +54,13 @@ struct DqConfig {
   bool batch_volume_renewals = false;
 
   rpc::QrpcOptions rpc;
+
+  // Durability: when set, IQS servers keep a write-ahead log and implement
+  // crash recovery (WAL replay + epoch bump; see docs/PROTOCOL.md "Crash
+  // recovery & durability").  When unset -- the default -- servers behave as
+  // before this subsystem existed: crashes keep durable-looking state, and
+  // no WAL metrics are registered.
+  std::optional<store::WalParams> wal;
 
   [[nodiscard]] bool is_basic() const {
     return lease_length >= sim::kTimeInfinity;

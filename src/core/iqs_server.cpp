@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "msg/epoch.h"
 #include "sim/processing.h"
 
 namespace dq::core {
@@ -36,6 +37,11 @@ IqsServer::IqsServer(sim::World& world, NodeId self,
   m_h_suppress_ = &m.histogram("dqvl.write.suppress_ms");
   m_h_invalidate_ = &m.histogram("dqvl.write.invalidate_ms");
   m_h_lease_wait_ = &m.histogram("dqvl.write.lease_wait_ms");
+  if (cfg_->wal) {
+    wal_ = std::make_unique<store::Wal>(world_, self_, *cfg_->wal);
+    m_recoveries_ = &m.counter("iqs.recoveries");
+    m_h_recovery_ms_ = &m.histogram("iqs.recovery_downtime_ms");
+  }
 }
 
 bool IqsServer::on_message(const sim::Envelope& env) {
@@ -111,11 +117,119 @@ bool IqsServer::on_message(const sim::Envelope& env) {
 }
 
 void IqsServer::on_crash() {
-  // Object data and callback/lease state are durable (written through before
-  // any ack leaves this node).  In-flight invalidation machines are volatile:
-  // clients retransmit their writes and the machines are rebuilt.
+  // In-flight invalidation machines are volatile under either durability
+  // model: clients retransmit their writes and the machines are rebuilt.
   engine_.cancel_all();
   ensures_.clear();
+  if (wal_ == nullptr) {
+    // Legacy durable fiction: object data and callback/lease state survive
+    // as if written through before every ack.
+    return;
+  }
+  crashed_at_ = world_.now();
+  // dqlint:allow(durable-state): crash wipes the volatile image; the
+  // durable copy lives in the WAL and on_recover's replay rebuilds it.
+  objects_.clear();
+  logical_clock_ = LogicalClock::zero();
+  clock_reserved_ = 0;
+  std::int64_t wiped_delayed = 0;
+  for (auto& [key, ls] : leases_) {
+    wiped_delayed += static_cast<std::int64_t>(ls.delayed.size());
+    ls.expiry_timer.cancel();
+  }
+  if (wiped_delayed != 0) m_delayed_depth_->add(-wiped_delayed);
+  leases_.clear();
+  grace_until_ = 0;
+  wal_->on_crash();
+}
+
+void IqsServer::on_recover() {
+  if (wal_ == nullptr) return;  // legacy model: state never left
+  // Rebuild the durable image: store contents + logical clock from kPut
+  // records, the epoch each (volume, node) pair had reached from kEpoch
+  // records.  Callback state (last_read / last_ack / obj_expires) is NOT
+  // recovered -- absent entries are conservative, and the grace window
+  // below covers the one case where "absent" would be unsafe.
+  wal_->replay([this](const store::WalRecord& r) {
+    switch (r.kind) {
+      case store::WalRecordKind::kPut: {
+        auto& os = objects_[r.object];
+        if (r.clock > os.last_write) {
+          os.last_write = r.clock;
+          os.value = r.value;
+        }
+        logical_clock_ = std::max(logical_clock_, r.clock);
+        break;
+      }
+      case store::WalRecordKind::kEpoch: {
+        auto& ls = leases_[{r.volume, r.node}];
+        ls.epoch = msg::epoch_max(ls.epoch, r.epoch);
+        break;
+      }
+      case store::WalRecordKind::kClockMark: {
+        // Resume past every counter the pre-crash incarnation may have
+        // exposed: pre-crash mints observed counters < the mark, so any
+        // clock minted from this node post-recovery is strictly above
+        // every orphaned (applied-but-unacked, lost) pre-crash clock.
+        // (The record's epoch field carries the reserved clock counter,
+        // not a lease epoch.)
+        const std::uint64_t reserved = r.epoch;
+        logical_clock_.counter = std::max(logical_clock_.counter, reserved);
+        clock_reserved_ = std::max(clock_reserved_, reserved);
+        break;
+      }
+      case store::WalRecordKind::kNote:
+        break;
+    }
+  });
+  reserve_clock();
+  // Advance every recovered pair's epoch (durably, before any new grant can
+  // expose it): all object leases granted by the pre-crash incarnation die
+  // at their holder's next volume renewal, so the delayed-invalidation
+  // queues that crashed with us need no persistence -- exactly the paper's
+  // epoch mechanism, now load-bearing.
+  for (auto& [key, ls] : leases_) advance_epoch(key.first, key.second, ls);
+  // Grace window: until every pre-crash volume lease has expired at its
+  // holder, node_safe may not treat absent obj_expires / lease entries as
+  // "holder has no lease" -- those tables were wiped, not empty.  Two
+  // padded lease lengths past recovery is safely past the last possible
+  // pre-crash grant's expiry under worst-case rate drift.  (With infinite
+  // leases -- dq-basic -- the window never closes: writes then always
+  // invalidate through, which is the basic protocol's behavior anyway.)
+  const sim::Duration dur = padded(cfg_->lease_length, cfg_->max_drift);
+  grace_until_ = dur >= sim::kTimeInfinity ? sim::kTimeInfinity
+                                           : local_now() + 2 * dur;
+  if (grace_until_ < sim::kTimeInfinity) {
+    world_.set_timer_local(self_, grace_until_,
+                           [this] { end_recovery_grace(); });
+  }
+  m_recoveries_->inc();
+  m_h_recovery_ms_->observe(sim::to_ms(world_.now() - crashed_at_));
+  if (world_.tracing()) {
+    world_.trace(self_, "recovery",
+                 "replayed " + std::to_string(wal_->durable_records()) +
+                     " records, " + std::to_string(leases_.size()) +
+                     " epochs bumped");
+  }
+}
+
+void IqsServer::reserve_clock() {
+  if (wal_ == nullptr || logical_clock_.counter < clock_reserved_) return;
+  clock_reserved_ =
+      (logical_clock_.counter / kClockBlock + 1) * kClockBlock;
+  // Synchronously durable: the mark must hit the medium before the counter
+  // it covers can escape in an LC-read reply or a served value.
+  wal_->append_durable(store::WalRecord::clock_mark(clock_reserved_));
+}
+
+void IqsServer::end_recovery_grace() {
+  // Writes that spent the grace window blocked on unreachable OQS nodes can
+  // now fall back to the lease-expiry cases of node_safe.
+  std::vector<ObjectId> affected;
+  for (auto& [o, en] : ensures_) {
+    if (en.call != 0) affected.push_back(o);
+  }
+  for (ObjectId o : affected) poke_ensure(o);
 }
 
 void IqsServer::reply(const sim::Envelope& to, msg::Payload body) {
@@ -140,7 +254,23 @@ void IqsServer::handle_write(const sim::Envelope& env, const msg::DqWrite& m) {
     os.value = m.value;
   }
   logical_clock_ = std::max(logical_clock_, m.clock);
+  reserve_clock();
 
+  if (wal_ != nullptr) {
+    // The in-memory apply above may expose the value (via grant_object)
+    // before it is durable; that is safe, because if a crash then loses the
+    // record the write was never acked, and the checker forever accepts
+    // values from incomplete writes.  What is NOT allowed is acking first:
+    // every ack path lives in continue_write, gated on the record's sync.
+    const store::Wal::Lsn lsn =
+        wal_->append(store::WalRecord::put(m.object, m.value, m.clock));
+    wal_->when_durable(lsn, [this, env, m] { continue_write(env, m); });
+    return;
+  }
+  continue_write(env, m);
+}
+
+void IqsServer::continue_write(const sim::Envelope& env, const msg::DqWrite& m) {
   auto& en = ensures_[m.object];
   if (m.clock <= en.ensured) {
     // An OQS write quorum is already unable to read anything older.
@@ -155,7 +285,7 @@ void IqsServer::handle_write(const sim::Envelope& env, const msg::DqWrite& m) {
         return w.src == env.src && w.rpc_id == env.rpc_id;
       });
   if (!duplicate) en.waiters.push_back({env.src, env.rpc_id, m.clock});
-  en.target = std::max(en.target, os.last_write);
+  en.target = std::max(en.target, obj(m.object).last_write);
   if (en.call == 0) {
     // Fresh episode: the phase breakdown measures from the first blocked
     // write until the whole batch is ensured.
@@ -189,13 +319,21 @@ bool IqsServer::node_safe(NodeId j, ObjectId o, LogicalClock lc) {
   // renewal of o by any OQS node, and can only re-validate by renewing from
   // an IQS read quorum (which would observe the new value).
   if (cfg_->suppression_enabled && os.last_read < ack) return true;
+  // Cases (a'') and (b) read this node's lease bookkeeping and treat an
+  // absent or expired entry as "j cannot be serving stale data".  During
+  // the recovery grace window that inference is wrong -- obj_expires and
+  // the lease table were wiped by the crash, so absence proves nothing and
+  // j may still hold live pre-crash leases.  Both cases are skipped until
+  // every pre-crash lease has provably expired; writes fall through to (c)
+  // and invalidate an OQS write quorum outright.
+  const bool grace = in_recovery_grace();
   // (a'') j holds no live object lease on o FROM THIS NODE -- it never
   // renewed o here, or its finite object lease (footnote 4) lapsed.
   // Condition C requires a valid object lease from every member of the read
   // quorum j uses, so j cannot serve o counting this node without first
   // object-renewing here, which returns the new value.  No invalidation and
   // no delayed-queue entry are needed.
-  {
+  if (!grace) {
     auto it = os.obj_expires.find(j);
     if (it == os.obj_expires.end() || it->second <= local_now()) return true;
   }
@@ -203,7 +341,7 @@ bool IqsServer::node_safe(NodeId j, ObjectId o, LogicalClock lc) {
   // the object until it renews the volume, at which point it will receive
   // the delayed invalidation enqueued here.
   const VolumeId v = cfg_->volumes.volume_of(o);
-  if (!lease_valid(v, j)) {
+  if (!grace && !lease_valid(v, j)) {
     auto& ls = lease(v, j);
     const std::size_t before = ls.delayed.size();
     auto& slot = ls.delayed[o];
@@ -356,7 +494,15 @@ void IqsServer::poke_volume(VolumeId v) {
 // ---------------------------------------------------------------------------
 
 IqsServer::LeaseState& IqsServer::lease(VolumeId v, NodeId j) {
-  return leases_[{v, j}];
+  auto [it, inserted] = leases_.try_emplace({v, j});
+  if (inserted && wal_ != nullptr) {
+    // Record the pair's existence durably at epoch 0: recovery must know
+    // every pair this incarnation ever granted to, so it can advance each
+    // one past anything the pre-crash incarnation handed out.
+    wal_->append_durable(
+        store::WalRecord::epoch_record(v, j, it->second.epoch));
+  }
+  return it->second;
 }
 
 const IqsServer::LeaseState* IqsServer::find_lease(VolumeId v, NodeId j) const {
@@ -398,22 +544,35 @@ msg::DqVolRenewReply IqsServer::grant_lease(NodeId j, VolumeId v,
   return r;
 }
 
-void IqsServer::maybe_gc_epoch(VolumeId v, NodeId j) {
-  auto& ls = lease(v, j);
-  if (ls.delayed.size() <= cfg_->max_delayed_per_volume) return;
-  // Only safe while j holds no valid lease: after the epoch advances, j's
-  // object leases from this node die at its next volume renewal.
-  if (ls.expires > local_now()) return;
+void IqsServer::advance_epoch(VolumeId v, NodeId j, LeaseState& ls) {
+  if (wal_ != nullptr) {
+    // Durable BEFORE the counter moves: were the bump record lost, a later
+    // recovery could re-issue the pre-crash epoch and stale object leases
+    // would revalidate at their holder's next volume renewal.
+    wal_->append_durable(
+        store::WalRecord::epoch_record(v, j, ls.epoch + 1));
+  }
+  // dqlint:allow(durable-state): the matching kEpoch record was synced on
+  // the line above; this helper is the only place an epoch counter moves.
   ++ls.epoch;
   m_epoch_bumps_->inc();
-  m_delayed_depth_->add(-static_cast<std::int64_t>(ls.delayed.size()));
-  ls.delayed.clear();
   if (world_.tracing()) {
     world_.trace(self_, "lease",
                  "epoch bump for n" + std::to_string(j.value()) + " vol " +
                      std::to_string(v.value()) + " -> " +
                      std::to_string(ls.epoch));
   }
+}
+
+void IqsServer::maybe_gc_epoch(VolumeId v, NodeId j) {
+  auto& ls = lease(v, j);
+  if (ls.delayed.size() <= cfg_->max_delayed_per_volume) return;
+  // Only safe while j holds no valid lease: after the epoch advances, j's
+  // object leases from this node die at its next volume renewal.
+  if (ls.expires > local_now()) return;
+  m_delayed_depth_->add(-static_cast<std::int64_t>(ls.delayed.size()));
+  ls.delayed.clear();
+  advance_epoch(v, j, ls);
 }
 
 void IqsServer::handle_vol_renew(const sim::Envelope& env,

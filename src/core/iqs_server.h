@@ -43,10 +43,18 @@ class IqsServer {
   // Handle an envelope addressed to this node.  Returns true if consumed.
   bool on_message(const sim::Envelope& env);
 
-  // Drop volatile state (crash-restart).  Object data and callback state in
-  // this model are durable (written through before acks); in-flight
-  // ensure-machines are volatile and restart from retransmissions.
+  // Crash-restart.  Without a WAL (cfg.wal unset) this is the legacy
+  // durable-fiction model: only in-flight ensure-machines are dropped and
+  // everything else behaves as if written through.  With a WAL, on_crash
+  // wipes ALL volatile state (lease tables, delayed-invalidation queues,
+  // callback state, pending machines) and truncates the log's unsynced
+  // tail; on_recover replays the log to rebuild store contents and the
+  // logical clock, advances every recovered (volume, node) epoch so
+  // pre-crash object leases are implicitly invalid, and opens a recovery
+  // grace window during which writes must invalidate through (see
+  // docs/PROTOCOL.md "Crash recovery & durability").
   void on_crash();
+  void on_recover();
 
   // --- introspection for tests and invariant checkers ---------------------
   [[nodiscard]] LogicalClock last_write_clock(ObjectId o) const;
@@ -64,6 +72,12 @@ class IqsServer {
     for (const auto& [o, en] : ensures_) n += en.call != 0 ? 1 : 0;
     return n;
   }
+  // Inside the post-recovery window where node_safe may not trust its
+  // (wiped) lease bookkeeping?  Always false without a WAL.
+  [[nodiscard]] bool in_recovery_grace() const {
+    return wal_ != nullptr && grace_until_ > local_now();
+  }
+  [[nodiscard]] store::Wal* wal() { return wal_.get(); }
 
  private:
   struct ObjState {
@@ -108,6 +122,10 @@ class IqsServer {
   // --- message handlers ----------------------------------------------------
   void handle_lc_read(const sim::Envelope& env, const msg::DqLcRead& m);
   void handle_write(const sim::Envelope& env, const msg::DqWrite& m);
+  // Second half of handle_write, runs once the write's WAL record is
+  // durable (immediately when no WAL is configured): suppression fast path,
+  // waiter registration, ensure machine.
+  void continue_write(const sim::Envelope& env, const msg::DqWrite& m);
   void handle_inval_ack(const sim::Envelope& env, const msg::DqInvalAck& m);
   void handle_vol_renew(const sim::Envelope& env, const msg::DqVolRenew& m);
   void handle_vol_renew_ack(const sim::Envelope& env,
@@ -135,6 +153,11 @@ class IqsServer {
   msg::DqObjRenewReply grant_object(NodeId j, ObjectId o,
                                     sim::Time requestor_time);
   void maybe_gc_epoch(VolumeId v, NodeId j);
+  // The only path that moves an epoch counter: the matching kEpoch record
+  // is made durable before the in-memory counter advances, so a recovering
+  // node can never re-issue a pre-crash epoch.
+  void advance_epoch(VolumeId v, NodeId j, LeaseState& ls);
+  void end_recovery_grace();
 
   ObjState& obj(ObjectId o) { return objects_[o]; }
   [[nodiscard]] sim::Time local_now() const {
@@ -147,7 +170,29 @@ class IqsServer {
   std::shared_ptr<const DqConfig> cfg_;
   rpc::QrpcEngine engine_;
 
+  // Durability (null unless cfg.wal is set).  grace_until_ is the local
+  // time until which node_safe must not trust absent lease bookkeeping:
+  // two padded lease lengths past recovery, by which point every pre-crash
+  // volume lease has expired at its holder.
+  std::unique_ptr<store::Wal> wal_;
+  sim::Time grace_until_ = 0;
+  sim::Time crashed_at_ = 0;  // global time of the last crash
+
   LogicalClock logical_clock_;  // >= every lastWriteLC on this node
+  // Durable logical-clock reservation (WAL mode only): every counter this
+  // node has ever exposed -- in an LC-read reply or applied to the store --
+  // is < clock_reserved_, and the reservation (a kClockMark record) is
+  // durable before the counter escapes.  Recovery restores the clock to the
+  // reserved mark, so a crash can never regress the counter below a value a
+  // pre-crash mint may have observed.  Without this, an orphaned pre-crash
+  // write (applied but never acked) could carry a higher clock than a
+  // post-crash retry of the same logical write, and a residual OQS object
+  // lease could keep serving the orphan while invalidations with the lower
+  // retry clock fail to clear it.  Counters are reserved in blocks so the
+  // mark costs one durable record per kClockBlock writes, not per write.
+  static constexpr std::uint64_t kClockBlock = 64;
+  std::uint64_t clock_reserved_ = 0;
+  void reserve_clock();
   // Ordered maps throughout: handle_vol_fetch walks objects_ (grant order is
   // on the wire) and poke_volume walks ensures_ (poke order shapes the event
   // schedule), so iteration order must not depend on a hash implementation
@@ -169,6 +214,10 @@ class IqsServer {
   obs::Histogram* m_h_suppress_;
   obs::Histogram* m_h_invalidate_;
   obs::Histogram* m_h_lease_wait_;
+  // Registered only when a WAL is configured, so WAL-less reports keep
+  // their exact byte layout.
+  obs::Counter* m_recoveries_ = nullptr;
+  obs::Histogram* m_h_recovery_ms_ = nullptr;
 };
 
 }  // namespace dq::core

@@ -20,6 +20,7 @@ OqsServer::OqsServer(sim::World& world, NodeId self,
       m_h_miss_(&world_.metrics().histogram("dqvl.read.miss_ms")) {
   DQ_INVARIANT(cfg_->iqs && cfg_->oqs, "DqConfig must name both systems");
   DQ_INVARIANT(cfg_->oqs->is_member(self_), "OqsServer on a non-member node");
+  if (cfg_->wal) m_recoveries_ = &world_.metrics().counter("oqs.recoveries");
 }
 
 bool OqsServer::on_message(const sim::Envelope& env) {
@@ -93,6 +94,13 @@ void OqsServer::on_crash() {
   vol_state_.clear();
   pending_.clear();
   proactive_active_.clear();
+}
+
+void OqsServer::on_recover() {
+  // Nothing to replay: an OQS replica's store, lease tables, and pending
+  // reads are all caches over IQS state.  Cold reads after a restart miss
+  // and renew, which is the protocol's ordinary miss path.
+  if (m_recoveries_ != nullptr) m_recoveries_->inc();
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,10 @@ class OqsServer {
 
   bool on_message(const sim::Envelope& env);
   void on_crash();
+  // An OQS node recovers empty-handed on purpose: every table here is soft
+  // state that renewals re-derive, so recovery is just accounting (the
+  // counter exists only when the deployment runs with a WAL configured).
+  void on_recover();
 
   // Bulk revalidation: fetch the whole volume (lease + every stored object)
   // from an IQS read quorum, so subsequent reads of its objects are hits.
@@ -119,6 +123,7 @@ class OqsServer {
   obs::Counter* m_misses_;
   obs::Counter* m_invals_;
   obs::Histogram* m_h_miss_;
+  obs::Counter* m_recoveries_ = nullptr;  // only registered with cfg.wal set
 };
 
 }  // namespace dq::core

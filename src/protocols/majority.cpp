@@ -30,9 +30,35 @@ void MajorityServer::handle(const sim::Envelope& env) {
   } else if (const auto* m = std::get_if<msg::MajWrite>(&env.body)) {
     m_writes_->inc();
     store_.apply(m->object, m->value, m->clock);
+    if (wal_ != nullptr) {
+      // No ack before the record is durable: the regular-semantics checker
+      // forgives writes that were never acked, never acked-then-lost ones.
+      const store::Wal::Lsn lsn =
+          wal_->append(store::WalRecord::put(m->object, m->value, m->clock));
+      wal_->when_durable(lsn, [this, env, mw = *m] {
+        world_.reply(self_, env, msg::MajWriteAck{mw.object, mw.clock});
+      });
+      return;
+    }
     world_.reply(self_, env,
                  msg::MajWriteAck{m->object, m->clock});
   }
+}
+
+void MajorityServer::on_crash() {
+  if (wal_ == nullptr) return;  // legacy model: state survives as if durable
+  store_.clear();
+  wal_->on_crash();
+}
+
+void MajorityServer::on_recover() {
+  if (wal_ == nullptr) return;
+  wal_->replay([this](const store::WalRecord& r) {
+    if (r.kind == store::WalRecordKind::kPut) {
+      store_.apply(r.object, r.value, r.clock);
+    }
+  });
+  m_recoveries_->inc();
 }
 
 void MajorityClient::read(ObjectId o, ReadCallback done) {

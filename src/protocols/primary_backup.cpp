@@ -24,6 +24,45 @@ PbServer::PbServer(sim::World& world, NodeId self,
     // over the backups (write quorum = all).
     backups_ = quorum::ThresholdQuorum::rowa(std::move(backups));
   }
+  if (cfg_->wal) {
+    wal_ = std::make_unique<store::Wal>(world_, self_, *cfg_->wal);
+    m_recoveries_ = &world_.metrics().counter("proto.pb.recoveries");
+  }
+}
+
+void PbServer::on_crash() {
+  // In-flight sync propagations are volatile; clients retransmit.
+  engine_.cancel_all();
+  if (wal_ == nullptr) return;  // legacy model: state survives as if durable
+  store_.clear();
+  applied_.clear();
+  write_seq_ = 0;
+  wal_->on_crash();
+}
+
+void PbServer::on_recover() {
+  if (wal_ == nullptr) return;
+  wal_->replay([this](const store::WalRecord& r) {
+    switch (r.kind) {
+      case store::WalRecordKind::kPut:
+        store_.apply(r.object, r.value, r.clock);
+        if (r.clock.writer == self_.value()) {
+          write_seq_ = std::max(write_seq_, r.clock.counter);
+        }
+        break;
+      case store::WalRecordKind::kNote:
+        // Dedupe entry.  Its put is always durable when the note is (the
+        // put is appended first), so re-acking from this entry never acks a
+        // lost value.
+        applied_[{r.node, r.rpc}] = r.clock;
+        write_seq_ = std::max(write_seq_, r.clock.counter);
+        break;
+      case store::WalRecordKind::kEpoch:
+      case store::WalRecordKind::kClockMark:
+        break;
+    }
+  });
+  m_recoveries_->inc();
 }
 
 bool PbServer::on_message(const sim::Envelope& env) {
@@ -64,10 +103,28 @@ void PbServer::handle(const sim::Envelope& env) {
     const LogicalClock lc{++write_seq_, self_.value()};
     applied_.emplace(key, lc);
     store_.apply(m->object, m->value, lc);
+    if (wal_ != nullptr) {
+      // Put before note: the client ack (inside propagate) is gated on the
+      // note, so "note durable" implies "value durable" and the recovered
+      // dedupe map can safely re-ack retransmissions.
+      wal_->append(store::WalRecord::put(m->object, m->value, lc));
+      const store::Wal::Lsn note_lsn =
+          wal_->append(store::WalRecord::note(env.src, env.rpc_id, lc));
+      wal_->when_durable(note_lsn, [this, mw = *m, lc, env] {
+        propagate(mw.object, mw.value, lc, env);
+      });
+      return;
+    }
     propagate(m->object, m->value, lc, env);
   } else if (const auto* m = std::get_if<msg::PbSync>(&env.body)) {
     m_syncs_->inc();
     store_.apply(m->object, m->value, m->clock);
+    if (wal_ != nullptr) {
+      // Backups log too (so a restarted backup recovers its state), but
+      // their sync-acks are not durability-gated: reads are served by the
+      // primary alone, so backup durability is never load-bearing here.
+      wal_->append(store::WalRecord::put(m->object, m->value, m->clock));
+    }
     world_.reply(self_, env,
                  msg::PbSyncAck{m->object, m->clock});
   }

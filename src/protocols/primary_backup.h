@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "quorum/quorum.h"
 #include "rpc/qrpc.h"
 #include "store/object_store.h"
+#include "store/wal.h"
 
 namespace dq::protocols {
 
@@ -28,6 +30,10 @@ struct PbConfig {
   std::vector<NodeId> replicas;  // includes the primary
   PbMode mode = PbMode::kAsyncPropagation;
   rpc::QrpcOptions rpc;
+  // When set every replica keeps a write-ahead log; the primary gates its
+  // client acks on durability of the put AND the dedupe note, and recovery
+  // replays both (minimal recovery, keeping the baseline comparison fair).
+  std::optional<store::WalParams> wal;
 };
 
 class PbServer {
@@ -35,6 +41,8 @@ class PbServer {
   PbServer(sim::World& world, NodeId self, std::shared_ptr<const PbConfig> cfg);
 
   bool on_message(const sim::Envelope& env);
+  void on_crash();
+  void on_recover();
   [[nodiscard]] bool is_primary() const { return self_ == cfg_->primary; }
   [[nodiscard]] const store::ObjectStore& store() const { return store_; }
 
@@ -48,6 +56,7 @@ class PbServer {
   std::shared_ptr<const PbConfig> cfg_;
   rpc::QrpcEngine engine_;
   store::ObjectStore store_;
+  std::unique_ptr<store::Wal> wal_;
   std::uint64_t write_seq_ = 0;
   std::shared_ptr<const quorum::QuorumSystem> backups_;  // write = all backups
   // Write dedupe: retransmitted client writes are re-acked, not re-applied.
@@ -55,6 +64,7 @@ class PbServer {
   obs::Counter* m_reads_;
   obs::Counter* m_writes_;
   obs::Counter* m_syncs_;
+  obs::Counter* m_recoveries_ = nullptr;
 };
 
 class PbClient final : public ServiceClient {

@@ -5,8 +5,19 @@
 // Used by the Monte-Carlo cross-check of the paper's analytical availability
 // model (Figure 8): the model assumes independent per-node unavailability p;
 // the injector realizes exactly that.
+//
+// Two fault planes, two injectors:
+//   * FailureInjector -- unreachability (set_up): the node keeps its state
+//     and its timers, traffic just stops flowing.  The paper's combined
+//     "server crashes and network failures" unit.
+//   * CrashInjector -- process death (crash/restart): volatile state is
+//     wiped, timers are poisoned, and on restart the node runs its recovery
+//     hook (WAL replay, epoch bump; see iqs_server.cpp).  Because a crash
+//     poisons the node's own timers, the injector schedules on the raw
+//     scheduler -- the restart timer must survive the crash it follows.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -46,27 +57,105 @@ class FailureInjector {
     for (NodeId n : nodes) schedule_failure(n);
   }
 
+  // Cancel every pending up/down timer.  Deployment teardown calls this so
+  // an injector never reschedules past the experiment horizon (the tokens
+  // are generation-checked, so cancelling an already-fired timer is a
+  // no-op).
+  void stop() {
+    for (auto& [n, tok] : timers_) tok.cancel();
+    timers_.clear();
+  }
+
  private:
   void schedule_failure(NodeId n) {
     const auto up_for = static_cast<Duration>(world_.rng().exponential(
         static_cast<double>(params_.mean_time_to_failure)));
-    world_.scheduler().schedule_after(up_for, [this, n] {
+    remember(n, world_.scheduler().schedule_after(up_for, [this, n] {
       world_.set_up(n, false);
       schedule_repair(n);
-    });
+    }));
   }
 
   void schedule_repair(NodeId n) {
     const auto down_for = static_cast<Duration>(world_.rng().exponential(
         static_cast<double>(params_.mean_time_to_repair)));
-    world_.scheduler().schedule_after(down_for, [this, n] {
+    remember(n, world_.scheduler().schedule_after(down_for, [this, n] {
       world_.set_up(n, true);
       schedule_failure(n);
-    });
+    }));
+  }
+
+  // One live timer per node at any time: each reschedule replaces the
+  // node's stored token.
+  void remember(NodeId n, TimerToken tok) {
+    for (auto& [node, slot] : timers_) {
+      if (node == n) {
+        slot = tok;
+        return;
+      }
+    }
+    timers_.emplace_back(n, tok);
   }
 
   World& world_;
   Params params_;
+  std::vector<std::pair<NodeId, TimerToken>> timers_;
+};
+
+// Drives exponential crash/restart renewal processes: each node alternates
+// between running (mean_time_to_crash) and down-after-crash (mean_downtime).
+// Restart invokes the node's recovery hook via World::restart.
+class CrashInjector {
+ public:
+  struct Params {
+    Duration mean_time_to_crash = seconds(120);
+    Duration mean_downtime = seconds(2);
+  };
+
+  CrashInjector(World& world, Params params)
+      : world_(world), params_(params) {}
+
+  void start(const std::vector<NodeId>& nodes) {
+    for (NodeId n : nodes) schedule_crash(n);
+  }
+
+  void stop() {
+    for (auto& [n, tok] : timers_) tok.cancel();
+    timers_.clear();
+  }
+
+ private:
+  void schedule_crash(NodeId n) {
+    const auto up_for = static_cast<Duration>(world_.rng().exponential(
+        static_cast<double>(params_.mean_time_to_crash)));
+    remember(n, world_.scheduler().schedule_after(up_for, [this, n] {
+      if (!world_.is_crashed(n)) world_.crash(n);
+      schedule_restart(n);
+    }));
+  }
+
+  void schedule_restart(NodeId n) {
+    const auto down_for = static_cast<Duration>(world_.rng().exponential(
+        static_cast<double>(params_.mean_downtime)));
+    remember(n, world_.scheduler().schedule_after(down_for, [this, n] {
+      if (world_.is_crashed(n)) world_.restart(n);
+      schedule_crash(n);
+    }));
+  }
+
+  void remember(NodeId n, TimerToken tok) {
+    for (auto& [node, slot] : timers_) {
+      if (node == n) {
+        slot = tok;
+        return;
+      }
+    }
+    timers_.emplace_back(n, tok);
+  }
+
+  World& world_;
+  Params params_;
+  std::vector<std::pair<NodeId, TimerToken>> timers_;
 };
 
 }  // namespace dq::sim

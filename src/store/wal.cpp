@@ -1,0 +1,137 @@
+#include "store/wal.h"
+
+#include <utility>
+
+namespace dq::store {
+
+Wal::Wal(sim::World& world, NodeId self, WalParams params)
+    : world_(world), self_(self), params_(params) {
+  auto& m = world_.metrics();
+  // Shared (not per-node) names: the report aggregates log traffic across
+  // the deployment, matching how the other protocol counters are reported.
+  m_appends_ = &m.counter("wal.appends");
+  m_syncs_ = &m.counter("wal.syncs");
+  m_replayed_ = &m.counter("wal.replay.records");
+  m_torn_ = &m.counter("wal.replay.torn_dropped");
+  m_commit_ms_ = &m.histogram("wal.commit_ms");
+}
+
+Wal::Lsn Wal::append(WalRecord rec) {
+  const Lsn lsn = records_.size();
+  records_.push_back(std::move(rec));
+  append_local_.push_back(world_.local_now(self_));
+  m_appends_->inc();
+  switch (params_.policy) {
+    case SyncPolicy::kSyncEveryWrite:
+      start_sync_if_needed();
+      break;
+    case SyncPolicy::kGroupCommit:
+    case SyncPolicy::kAsync:
+      arm_flush_timer();
+      break;
+  }
+  return lsn;
+}
+
+Wal::Lsn Wal::append_durable(WalRecord rec) {
+  const Lsn lsn = records_.size();
+  records_.push_back(std::move(rec));
+  append_local_.push_back(world_.local_now(self_));
+  m_appends_->inc();
+  mark_synced(static_cast<std::size_t>(lsn) + 1);
+  return lsn;
+}
+
+void Wal::when_durable(Lsn lsn, std::function<void()> fn) {
+  if (lsn < synced_ || params_.policy == SyncPolicy::kAsync) {
+    fn();  // already durable, or the policy acks without waiting
+    return;
+  }
+  waiters_.emplace_back(lsn, std::move(fn));
+}
+
+void Wal::start_sync_if_needed() {
+  if (sync_in_flight_ || synced_ == records_.size()) return;
+  sync_in_flight_ = true;
+  sync_target_ = records_.size();
+  world_.set_timer(self_, params_.sync_latency, [this] {
+    sync_in_flight_ = false;
+    mark_synced(sync_target_);
+    start_sync_if_needed();  // pipeline: records that arrived mid-sync
+  });
+}
+
+void Wal::arm_flush_timer() {
+  if (flush_armed_ || synced_ == records_.size()) return;
+  flush_armed_ = true;
+  world_.set_timer(self_, params_.flush_interval, [this] {
+    flush_armed_ = false;
+    mark_synced(records_.size());
+    arm_flush_timer();  // re-arm if a waiter's continuation appended more
+  });
+}
+
+void Wal::mark_synced(std::size_t upto) {
+  if (upto > records_.size()) upto = records_.size();
+  if (upto <= synced_) return;
+  const sim::Time now_local = world_.local_now(self_);
+  for (std::size_t i = synced_; i < upto; ++i) {
+    m_commit_ms_->observe(sim::to_ms(now_local - append_local_[i]));
+  }
+  synced_ = upto;
+  m_syncs_->inc();
+  schedule_drain();
+}
+
+void Wal::schedule_drain() {
+  if (drain_scheduled_) return;
+  if (waiters_.empty() || waiters_.front().first >= synced_) return;
+  drain_scheduled_ = true;
+  world_.set_timer(self_, 0, [this] {
+    drain_scheduled_ = false;
+    drain_waiters();
+  });
+}
+
+void Wal::drain_waiters() {
+  while (!waiters_.empty() && waiters_.front().first < synced_) {
+    auto fn = std::move(waiters_.front().second);
+    waiters_.erase(waiters_.begin());
+    fn();
+  }
+}
+
+void Wal::on_crash() {
+  std::size_t survive = synced_;
+  torn_pending_ = false;
+  if (params_.torn_tail_faults && records_.size() > synced_) {
+    // Write-behind: the medium may have persisted part of the tail on its
+    // own.  A uniform prefix of the unsynced records survives; if the tail
+    // was cut short, the first lost record was mid-write -- torn -- and is
+    // dropped (and counted) when the recovering server replays.
+    const std::uint64_t unsynced = records_.size() - synced_;
+    const std::uint64_t extra = world_.rng().below(unsynced + 1);
+    survive = synced_ + static_cast<std::size_t>(extra);
+    if (extra < unsynced) torn_pending_ = true;
+  }
+  records_.resize(survive);
+  append_local_.resize(survive);
+  synced_ = survive;
+  sync_target_ = 0;
+  sync_in_flight_ = false;
+  flush_armed_ = false;
+  drain_scheduled_ = false;
+  waiters_.clear();  // ack continuations are volatile state
+}
+
+std::size_t Wal::replay(const std::function<void(const WalRecord&)>& fn) {
+  for (const auto& r : records_) fn(r);
+  m_replayed_->inc(records_.size());
+  if (torn_pending_) {
+    m_torn_->inc();
+    torn_pending_ = false;
+  }
+  return records_.size();
+}
+
+}  // namespace dq::store

@@ -1,0 +1,208 @@
+// Simulated write-ahead log: the durable half of a node's storage.
+//
+// A Wal models the only thing a crash cannot take away: the prefix of
+// appended records that has been synced to the durable medium.  Everything
+// else on a node -- lease tables, pending callbacks, delayed-invalidation
+// queues, in-flight timers -- is volatile and is wiped by World::crash; a
+// recovering server replays its Wal to rebuild store contents, per-object
+// logical clocks, and the epoch counter (iqs_server.cpp, "Crash recovery").
+//
+// Durability model:
+//   * append() adds a record to the in-memory tail and returns its LSN.
+//   * Records [0, synced) are durable; the sync frontier advances according
+//     to the policy below.  when_durable(lsn, fn) runs fn once record `lsn`
+//     is durable -- servers gate acks on it, which is the core correctness
+//     rule: an acked write must survive any later crash (the regular-
+//     semantics checker forgives lost *unacked* writes, never acked ones).
+//   * On crash the unsynced tail is lost.  With torn_tail_faults enabled the
+//     medium may additionally have written-behind part of the tail: a random
+//     prefix of the unsynced records survives and at most one further record
+//     is torn (partially written) and dropped on replay.
+//
+// Sync policies:
+//   * kSyncEveryWrite -- every append starts a sync (completing after
+//     sync_latency); appends arriving during an in-flight sync batch into
+//     the next one (fsync pipelining).
+//   * kGroupCommit -- a flush timer armed by the first dirty record syncs
+//     the whole batch after flush_interval.
+//   * kAsync -- when_durable fires immediately (acks do NOT wait for the
+//     medium; deliberately unsafe under crashes) while a background flush
+//     still advances the frontier.
+//
+// Determinism: the Wal draws randomness only from the world's seeded rng
+// (and only at crash time, only with torn_tail_faults on), and all delays
+// are virtual-time timers, so a given seed replays byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/version.h"
+#include "msg/epoch.h"
+#include "sim/world.h"
+
+namespace dq::store {
+
+enum class SyncPolicy : std::uint8_t {
+  kSyncEveryWrite,
+  kGroupCommit,
+  kAsync,
+};
+
+struct WalParams {
+  SyncPolicy policy = SyncPolicy::kGroupCommit;
+  // Time for one sync to reach the medium (kSyncEveryWrite).
+  sim::Duration sync_latency = sim::milliseconds(2);
+  // Delay from first dirty record to the batch sync (kGroupCommit, and the
+  // background flush under kAsync).
+  sim::Duration flush_interval = sim::milliseconds(10);
+  // Model write-behind on crash: a random prefix of the unsynced tail
+  // survives and at most one partially-written (torn) record is dropped
+  // during replay.
+  bool torn_tail_faults = false;
+};
+
+[[nodiscard]] inline const char* to_string(SyncPolicy p) {
+  switch (p) {
+    case SyncPolicy::kSyncEveryWrite: return "sync";
+    case SyncPolicy::kGroupCommit: return "group";
+    case SyncPolicy::kAsync: return "async";
+  }
+  return "?";
+}
+
+enum class WalRecordKind : std::uint8_t {
+  kPut,        // object write: object/value/clock
+  kEpoch,      // epoch advance for (volume, grantee node): volume/node/epoch
+  kNote,       // protocol bookkeeping (e.g. primary/backup dedupe): node/rpc/clock
+  kClockMark,  // logical-clock block reservation: epoch = reserved counter
+};
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kPut;
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+  VolumeId volume;
+  NodeId node;
+  msg::Epoch epoch = 0;
+  RequestId rpc;
+
+  [[nodiscard]] static WalRecord put(ObjectId o, Value v, LogicalClock lc) {
+    WalRecord r;
+    r.kind = WalRecordKind::kPut;
+    r.object = o;
+    r.value = std::move(v);
+    r.clock = lc;
+    return r;
+  }
+  [[nodiscard]] static WalRecord epoch_record(VolumeId vol, NodeId n,
+                                              msg::Epoch e) {
+    WalRecord r;
+    r.kind = WalRecordKind::kEpoch;
+    r.volume = vol;
+    r.node = n;
+    r.epoch = e;
+    return r;
+  }
+  [[nodiscard]] static WalRecord note(NodeId n, RequestId rpc,
+                                      LogicalClock lc) {
+    WalRecord r;
+    r.kind = WalRecordKind::kNote;
+    r.node = n;
+    r.rpc = rpc;
+    r.clock = lc;
+    return r;
+  }
+  // Reserve logical-clock counters below `reserved`: a recovering node
+  // resumes past every counter it may ever have exposed, so a lost
+  // in-memory clock advance can never cause counter regression (and with
+  // it, an orphaned pre-crash value shadowing later writes).
+  [[nodiscard]] static WalRecord clock_mark(std::uint64_t reserved) {
+    WalRecord r;
+    r.kind = WalRecordKind::kClockMark;
+    r.epoch = reserved;
+    return r;
+  }
+};
+
+class Wal {
+ public:
+  using Lsn = std::uint64_t;
+
+  Wal(sim::World& world, NodeId self, WalParams params);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Append a record; durability follows the sync policy.
+  Lsn append(WalRecord rec);
+
+  // Append a control record that is durable immediately (a synchronous
+  // prefix sync: everything up to and including this record becomes
+  // durable).  Used for epoch advances, which must be durable *before* the
+  // new epoch is exposed in any grant -- otherwise a crash could lose the
+  // bump and a recovering node could re-issue a pre-crash epoch.  Waiters
+  // unblocked by the prefix sync fire from a zero-delay event, not from
+  // inside the caller's stack.
+  Lsn append_durable(WalRecord rec);
+
+  // Run `fn` once record `lsn` is durable.  Fires inline if it already is
+  // (or under kAsync, which acks without waiting for the medium); otherwise
+  // fn runs when the sync frontier passes the record.  Waiters are volatile:
+  // a crash drops them.
+  void when_durable(Lsn lsn, std::function<void()> fn);
+
+  // The durable medium's view of the crash: the unsynced tail is lost
+  // (modulo write-behind survivors under torn_tail_faults) and all waiters
+  // and in-flight sync state are dropped.  Call from Actor::on_crash; the
+  // world has already poisoned this node's timers.
+  void on_crash();
+
+  // Feed every surviving record, in append order, to `fn`; returns the
+  // number replayed.  A pending torn record is counted and dropped here.
+  std::size_t replay(const std::function<void(const WalRecord&)>& fn);
+
+  [[nodiscard]] std::size_t durable_records() const { return synced_; }
+  [[nodiscard]] std::size_t pending_records() const {
+    return records_.size() - synced_;
+  }
+  [[nodiscard]] const WalParams& params() const { return params_; }
+
+ private:
+  void start_sync_if_needed();
+  void arm_flush_timer();
+  // Advance the durable frontier to `upto` records and schedule the waiter
+  // drain (always deferred to a fresh event so continuations never run
+  // inside append/sync stacks).
+  void mark_synced(std::size_t upto);
+  void schedule_drain();
+  void drain_waiters();
+
+  sim::World& world_;
+  NodeId self_;
+  WalParams params_;
+
+  std::vector<WalRecord> records_;
+  std::vector<sim::Time> append_local_;  // per-record local append time
+  std::size_t synced_ = 0;               // records [0, synced_) are durable
+  std::size_t sync_target_ = 0;
+  bool sync_in_flight_ = false;
+  bool flush_armed_ = false;
+  bool drain_scheduled_ = false;
+  bool torn_pending_ = false;  // a torn tail record awaits its replay drop
+
+  // Ordered by LSN (appends are monotone and waiters register at append
+  // time), so the drain walks a prefix.
+  std::vector<std::pair<Lsn, std::function<void()>>> waiters_;
+
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_syncs_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+  obs::Counter* m_torn_ = nullptr;
+  obs::Histogram* m_commit_ms_ = nullptr;
+};
+
+}  // namespace dq::store

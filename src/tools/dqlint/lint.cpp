@@ -195,6 +195,7 @@ const char* kRuleDetThread = "det-thread";
 const char* kRuleProtoDirectSend = "proto-direct-send";
 const char* kRuleProtoEpochCompare = "proto-epoch-compare";
 const char* kRuleProtoObsRead = "proto-obs-read";
+const char* kRuleDurableState = "durable-state";
 const char* kRuleHygAssert = "hyg-assert";
 const char* kRuleHygNakedNew = "hyg-naked-new";
 const char* kRuleBadSuppression = "lint-bad-suppression";
@@ -272,6 +273,14 @@ const std::vector<RuleInfo>& rules() {
        {"src/core/", "src/protocols/", "src/rpc/"},
        {},
        {}},
+      {kRuleDurableState,
+       "direct mutation of durable state (epoch increment or store_/objects_ "
+       "apply/clear) in dual-quorum server code: epochs and store contents "
+       "must go through the WAL (append_durable/replay) or crash recovery "
+       "silently loses them; route through Wal or justify with a suppression",
+       {"src/core/"},
+       {},
+       {"src/core/oqs_server.cpp"}},
       {kRuleHygAssert,
        "assert()/<cassert> vanishes under NDEBUG; protocol invariants use "
        "the always-on DQ_INVARIANT (common/assert.h)",
@@ -530,6 +539,37 @@ std::vector<Diagnostic> run_rules(const std::string& path,
         m.text_is(i + 3, "(")) {
       flag(kRuleProtoObsRead, tok.line,
            tok.text + tokens[i + 1].text + tokens[i + 2].text + "()");
+    }
+    if (active(kRuleDurableState)) {
+      if (epochish(tok)) {
+        // Compound assignment / post-increment directly on an epoch field.
+        if (m.text_is(i + 1, "++") || m.text_is(i + 1, "--") ||
+            m.text_is(i + 1, "+=") || m.text_is(i + 1, "-=")) {
+          flag(kRuleDurableState, tok.line,
+               "'" + tok.text + "' " + tokens[i + 1].text);
+        } else {
+          // Pre-increment: walk back through `obj.` / `obj->` qualifiers to
+          // find a leading ++/-- (`++ls.epoch`, `--state->node_epoch`).
+          std::size_t j = i;
+          while (j >= 2 &&
+                 (tokens[j - 1].text == "." || tokens[j - 1].text == "->") &&
+                 tokens[j - 2].kind == Tok::kIdent) {
+            j -= 2;
+          }
+          if (j > 0 &&
+              (tokens[j - 1].text == "++" || tokens[j - 1].text == "--")) {
+            flag(kRuleDurableState, tok.line,
+                 tokens[j - 1].text + " '" + tok.text + "'");
+          }
+        }
+      }
+      if ((tok.text == "store_" || tok.text == "objects_") &&
+          (m.text_is(i + 1, ".") || m.text_is(i + 1, "->")) &&
+          (m.ident_is(i + 2, "apply") || m.ident_is(i + 2, "clear")) &&
+          m.text_is(i + 3, "(")) {
+        flag(kRuleDurableState, tok.line,
+             tok.text + tokens[i + 1].text + tokens[i + 2].text + "()");
+      }
     }
     if (active(kRuleHygAssert)) {
       if (tok.text == "assert" && calls && !m.non_libc_qualified(i)) {

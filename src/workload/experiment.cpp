@@ -81,9 +81,21 @@ Deployment::Deployment(const ExperimentParams& params) : params_(params) {
                                                        *params_.failures);
     injector_->start(topo.servers());
   }
+  if (params_.crashes) {
+    crash_injector_ = std::make_unique<sim::CrashInjector>(*world_,
+                                                           *params_.crashes);
+    crash_injector_->start(topo.servers());
+  }
 }
 
-Deployment::~Deployment() = default;
+Deployment::~Deployment() {
+  // Injector timers capture `this` of the injectors and live on the world's
+  // scheduler; stop them so a deployment that outlives its run (tests
+  // poking the world afterwards) cannot fire into freed injectors, and so
+  // up/down churn never reschedules past the experiment horizon.
+  if (injector_ != nullptr) injector_->stop();
+  if (crash_injector_ != nullptr) crash_injector_->stop();
+}
 
 rpc::QrpcOptions Deployment::rpc_options() const {
   rpc::QrpcOptions o;
@@ -138,6 +150,7 @@ void Deployment::build_dqvl() {
   cfg->proactive_volume_renewal = params_.proactive_renewal;
   cfg->batch_volume_renewals = params_.batch_renewals;
   cfg->rpc = rpc_options();
+  cfg->wal = params_.wal;
   dq_cfg_ = cfg;
 
   for (std::size_t i = 0; i < topo.num_servers(); ++i) {
@@ -166,7 +179,8 @@ void Deployment::build_dqvl() {
     node.add_handler([oqs_raw](const sim::Envelope& e) {
       return oqs_raw->on_message(e);
     });
-    node.add_crash_hook([oqs_raw] { oqs_raw->on_crash(); });
+    node.add_crash_hook([oqs_raw] { oqs_raw->on_crash(); },
+                        [oqs_raw] { oqs_raw->on_recover(); });
     oqs_.emplace(n.value(), std::move(oqs));
 
     // IQS member (first iqs_size servers).
@@ -176,7 +190,8 @@ void Deployment::build_dqvl() {
       node.add_handler([iqs_raw](const sim::Envelope& e) {
         return iqs_raw->on_message(e);
       });
-      node.add_crash_hook([iqs_raw] { iqs_raw->on_crash(); });
+      node.add_crash_hook([iqs_raw] { iqs_raw->on_crash(); },
+                          [iqs_raw] { iqs_raw->on_recover(); });
       iqs_.emplace(n.value(), std::move(iqs));
     }
   }
@@ -188,12 +203,14 @@ void Deployment::build_majority() {
   auto system = std::shared_ptr<const quorum::QuorumSystem>(
       quorum::ThresholdQuorum::majority(topo.servers()));
   for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    auto srv = std::make_unique<protocols::MajorityServer>(*world_,
-                                                           topo.server(i));
+    auto srv = std::make_unique<protocols::MajorityServer>(
+        *world_, topo.server(i), params_.wal);
     protocols::MajorityServer* raw = srv.get();
     servers_[i]->add_handler([raw](const sim::Envelope& e) {
       return raw->on_message(e);
     });
+    servers_[i]->add_crash_hook([raw] { raw->on_crash(); },
+                                [raw] { raw->on_recover(); });
     maj_servers_.push_back(std::move(srv));
   }
   // Direct-access clients (the paper's majority latency is insensitive to
@@ -218,6 +235,7 @@ void Deployment::build_primary_backup(protocols::PbMode mode) {
   cfg->replicas = topo.servers();
   cfg->mode = mode;
   cfg->rpc = rpc_options();
+  cfg->wal = params_.wal;
   pb_cfg_ = cfg;
 
   for (std::size_t i = 0; i < topo.num_servers(); ++i) {
@@ -227,6 +245,8 @@ void Deployment::build_primary_backup(protocols::PbMode mode) {
     servers_[i]->add_handler([raw](const sim::Envelope& e) {
       return raw->on_message(e);
     });
+    servers_[i]->add_crash_hook([raw] { raw->on_crash(); },
+                                [raw] { raw->on_recover(); });
     pb_servers_.push_back(std::move(srv));
   }
   for (std::size_t c = 0; c < topo.num_clients(); ++c) {

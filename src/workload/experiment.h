@@ -81,6 +81,15 @@ struct ExperimentParams {
   double loss = 0.0;
   std::optional<sim::FailureInjector::Params> failures;
 
+  // Durability & crash-restart plane.  `wal` equips the servers of WAL-aware
+  // protocols (DQVL family, majority, primary/backup) with a write-ahead
+  // log whose sync policy gates write acks; `crashes` drives exponential
+  // crash/restart renewal processes over the servers (restart runs each
+  // node's recovery hook).  Both default to off, which reproduces the
+  // pre-durability behavior bit for bit.
+  std::optional<store::WalParams> wal;
+  std::optional<sim::CrashInjector::Params> crashes;
+
   std::uint64_t seed = 42;
   sim::Duration max_sim_time = sim::seconds(3600 * 10);
 };
@@ -166,6 +175,7 @@ class Deployment {
   ExperimentParams params_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<sim::FailureInjector> injector_;
+  std::unique_ptr<sim::CrashInjector> crash_injector_;
 
   std::vector<std::unique_ptr<EdgeNode>> servers_;
   std::vector<std::unique_ptr<AppClient>> clients_;

@@ -27,6 +27,13 @@ const std::vector<FlagHelp>& experiment_flag_help() {
       {"drift", "max clock drift rate (default 0)"},
       {"loss", "message loss probability (default 0)"},
       {"node-unavail", "per-node unavailability for failure injection"},
+      {"wal", "durability: sync | group | async (enables the WAL)"},
+      {"wal-sync-ms", "WAL sync latency in ms (default 2)"},
+      {"wal-flush-ms", "WAL group-commit flush interval in ms (default 10)"},
+      {"wal-torn-tail", "model torn-tail faults on crash (default off)"},
+      {"crash-mttc-ms", "mean time to crash per server in ms (enables"
+                        " crash/restart injection)"},
+      {"crash-downtime-ms", "mean post-crash downtime in ms (default 2000)"},
       {"deadline-ms", "per-op deadline in ms (default: none)"},
       {"think-ms", "client think time in ms (default 0)"},
       {"seed", "RNG seed (default 42)"},
@@ -144,6 +151,32 @@ std::optional<ExperimentParams> params_from_flags(
   if (flags.count("node-unavail") != 0) {
     p.failures = sim::FailureInjector::Params::for_unavailability(
         take_num(flags, "node-unavail", 0.01), sim::seconds(100));
+  }
+  if (auto wal = take(flags, "wal")) {
+    store::WalParams w;
+    if (*wal == "sync") {
+      w.policy = store::SyncPolicy::kSyncEveryWrite;
+    } else if (*wal == "group") {
+      w.policy = store::SyncPolicy::kGroupCommit;
+    } else if (*wal == "async") {
+      w.policy = store::SyncPolicy::kAsync;
+    } else {
+      return fail("--wal expects sync | group | async, got '" + *wal + "'");
+    }
+    w.sync_latency = sim::milliseconds(
+        static_cast<std::int64_t>(take_num(flags, "wal-sync-ms", 2)));
+    w.flush_interval = sim::milliseconds(
+        static_cast<std::int64_t>(take_num(flags, "wal-flush-ms", 10)));
+    w.torn_tail_faults = take_num(flags, "wal-torn-tail", 0.0) != 0.0;
+    p.wal = w;
+  }
+  if (flags.count("crash-mttc-ms") != 0) {
+    sim::CrashInjector::Params c;
+    c.mean_time_to_crash = sim::milliseconds(
+        static_cast<std::int64_t>(take_num(flags, "crash-mttc-ms", 120000)));
+    c.mean_downtime = sim::milliseconds(static_cast<std::int64_t>(
+        take_num(flags, "crash-downtime-ms", 2000)));
+    p.crashes = c;
   }
   if (flags.count("deadline-ms") != 0) {
     p.op_deadline = sim::milliseconds(

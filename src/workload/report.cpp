@@ -95,6 +95,26 @@ std::string to_json(const ExperimentParams& params,
   out += ",\"num_volumes\":" + num(std::uint64_t(params.num_volumes));
   out += ",\"max_drift\":" + num(params.max_drift);
   out += ",\"loss\":" + num(params.loss);
+  // Durability / crash-plane keys appear only when the corresponding knob
+  // is set, so reports from WAL-less runs keep their exact bytes (the
+  // golden determinism suite and checked-in baselines depend on that; the
+  // schema validator tolerates extra keys).
+  if (params.wal) {
+    out += ",\"wal\":{";
+    out += "\"policy\":\"" + std::string(store::to_string(params.wal->policy)) +
+           "\"";
+    out += ",\"sync_ms\":" + num(sim::to_ms(params.wal->sync_latency));
+    out += ",\"flush_ms\":" + num(sim::to_ms(params.wal->flush_interval));
+    out += ",\"torn_tail\":";
+    out += params.wal->torn_tail_faults ? "true" : "false";
+    out += "}";
+  }
+  if (params.crashes) {
+    out += ",\"crash_mttc_ms\":" +
+           num(sim::to_ms(params.crashes->mean_time_to_crash));
+    out += ",\"crash_downtime_ms\":" +
+           num(sim::to_ms(params.crashes->mean_downtime));
+  }
   out += ",\"seed\":" + num(std::uint64_t(params.seed));
   out += "}";
 

@@ -1,0 +1,29 @@
+// durable-state: direct mutation of durable state bypassing the WAL.
+struct LeaseState {
+  unsigned long epoch = 0;
+};
+
+struct Store {
+  void apply(int o, int v);
+  void clear();
+  int get(int o) const;
+};
+
+struct Server {
+  LeaseState ls;
+  Store store_;
+  Store objects_;
+  unsigned long node_epoch = 0;
+
+  void bad(int o, int v) {
+    ++ls.epoch;           // fires (pre-increment through a member qualifier)
+    node_epoch += 1;      // fires (compound assignment on an epoch field)
+    store_.apply(o, v);   // fires (store mutation without a WAL append)
+    objects_.clear();     // fires (wholesale wipe of logged state)
+  }
+
+  int fine(int o) const {
+    const unsigned long snapshot = ls.epoch;  // read-only access stays quiet
+    return store_.get(o) + static_cast<int>(snapshot);
+  }
+};

@@ -96,6 +96,28 @@ TEST(DqlintRules, EpochCompare) {
   EXPECT_EQ(counts.size(), 1u);
 }
 
+TEST(DqlintRules, DurableState) {
+  // Pre-increment through a qualifier, compound assignment, store apply and
+  // clear; reads of the same members stay quiet.
+  const auto counts = rule_counts(lint_fixture("bad_durable_state.cpp"));
+  EXPECT_EQ(counts.at("durable-state"), 4);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintScopes, DurableStateScopedToCoreExemptingOqs) {
+  const std::string src = "void f() { objects_.clear(); }\n";
+  EXPECT_EQ(lint_source("src/core/iqs_server.cpp", src, true)
+                .diagnostics.size(),
+            1u);
+  // The OQS keeps soft state only (re-derived by renewals), so its wipes
+  // are by design.
+  EXPECT_TRUE(lint_source("src/core/oqs_server.cpp", src, true)
+                  .diagnostics.empty());
+  // Baseline protocols are outside the rule's scope.
+  EXPECT_TRUE(
+      lint_source("src/protocols/majority.cpp", src, true).diagnostics.empty());
+}
+
 TEST(DqlintRules, ObsRead) {
   const auto counts = rule_counts(lint_fixture("bad_obs_read.cpp"));
   EXPECT_EQ(counts.at("proto-obs-read"), 1);  // value() read; inc() is fine

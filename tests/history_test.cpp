@@ -125,6 +125,64 @@ TEST(HistoryChecker, ReadOverlappingManyWritesMayReturnAnyOfThem) {
   EXPECT_TRUE(h.check_regular().empty());
 }
 
+TEST(HistoryChecker, IncompleteFirstWriteAllowsInitialOrInFlightValue) {
+  // Crash-recovery corner case: the very first write to an object never
+  // completes (say its ack was lost when the server crashed) and a read of
+  // the never-(completely-)written object overlaps it.  BOTH outcomes are
+  // legal -- the initial value (the write has not taken effect) and the
+  // in-flight value (it has).  This leniency is exactly what lets a WAL
+  // drop UNACKED writes at a crash without a violation; acked writes get
+  // no such forgiveness.
+  {
+    History h;
+    h.record(write(0, 100, "a", {1, 1}, /*ok=*/false));
+    h.record(read(10, 20, "", LogicalClock::zero()));
+    EXPECT_TRUE(h.check_regular().empty()) << "initial value must be legal";
+  }
+  {
+    History h;
+    h.record(write(0, 100, "a", {1, 1}, /*ok=*/false));
+    h.record(read(10, 20, "a", {1, 1}));
+    EXPECT_TRUE(h.check_regular().empty()) << "in-flight value must be legal";
+  }
+  {
+    // A value from nowhere is still caught.
+    History h;
+    h.record(write(0, 100, "a", {1, 1}, /*ok=*/false));
+    h.record(read(10, 20, "b", {2, 2}));
+    EXPECT_EQ(h.check_regular().size(), 1u);
+  }
+  {
+    // An incomplete write never stops being concurrent (w_end = infinity):
+    // a read far in the future may still return either value.
+    History h;
+    h.record(write(0, 100, "a", {1, 1}, /*ok=*/false));
+    h.record(read(50000, 50010, "a", {1, 1}));
+    h.record(read(50000, 50010, "", LogicalClock::zero()));
+    EXPECT_TRUE(h.check_regular().empty());
+  }
+}
+
+TEST(HistoryChecker, DuplicateExecutionClockMismatchLegalOnlyWhileOverlapping) {
+  // One logical write re-executed across a front-end crash: the history op
+  // carries the finally-acked clock (2.1) while a concurrent reader saw the
+  // first attempt's pair (same value, clock 1.1).  Legal during the op...
+  {
+    History h;
+    h.record(write(0, 100, "a", {2, 1}));
+    h.record(read(10, 20, "a", {1, 1}));
+    EXPECT_TRUE(h.check_regular().empty());
+  }
+  // ...but once the write has completed, a mismatched clock is stale state
+  // and stays a violation.
+  {
+    History h;
+    h.record(write(0, 100, "a", {2, 1}));
+    h.record(read(200, 210, "a", {1, 1}));
+    EXPECT_EQ(h.check_regular().size(), 1u);
+  }
+}
+
 TEST(HistoryChecker, AppendMergesHistories) {
   History a, b;
   a.record(write(0, 10, "a", {1, 1}));

@@ -35,22 +35,57 @@ ExperimentParams golden_params(Protocol proto, std::uint64_t seed) {
   return p;
 }
 
+// Crash-heavy golden cells: WAL (group commit, torn-tail faults on) plus an
+// exponential crash/restart process over every server.  Crash scheduling,
+// WAL replay, and torn-tail sampling all draw from the seeded rng, so these
+// reports too must be byte-identical at any --jobs value and against their
+// checked-in goldens.  These parameters must not change either --
+// tests/golden/report_*_crash_seed*.json were generated from them.
+ExperimentParams crash_golden_params(Protocol proto, std::uint64_t seed) {
+  ExperimentParams p;
+  p.protocol = proto;
+  p.write_ratio = 0.3;
+  p.locality = 0.85;
+  p.requests_per_client = 100;
+  p.lease_length = sim::seconds(1);
+  p.loss = 0.02;
+  p.topo.jitter = 0.1;
+  p.op_deadline = sim::seconds(25);
+  store::WalParams w;
+  w.policy = store::SyncPolicy::kGroupCommit;
+  w.torn_tail_faults = true;
+  p.wal = w;
+  sim::CrashInjector::Params c;
+  c.mean_time_to_crash = sim::seconds(10);
+  c.mean_downtime = sim::seconds(1);
+  p.crashes = c;
+  p.seed = seed;
+  return p;
+}
+
 struct Cell {
   Protocol proto;
   const char* name;
   std::uint64_t seed;
+  bool crashes;
 };
 
 const Cell kCells[] = {
-    {Protocol::kDqvl, "dqvl", 7},
-    {Protocol::kDqvl, "dqvl", 11},
-    {Protocol::kMajority, "majority", 7},
-    {Protocol::kMajority, "majority", 11},
+    {Protocol::kDqvl, "dqvl", 7, false},
+    {Protocol::kDqvl, "dqvl", 11, false},
+    {Protocol::kMajority, "majority", 7, false},
+    {Protocol::kMajority, "majority", 11, false},
+    {Protocol::kDqvl, "dqvl_crash", 13, true},
+    {Protocol::kDqvl, "dqvl_crash", 29, true},
+    {Protocol::kMajority, "majority_crash", 13, true},
 };
 
 std::vector<std::string> reports_at(std::size_t jobs) {
   std::vector<ExperimentParams> trials;
-  for (const Cell& c : kCells) trials.push_back(golden_params(c.proto, c.seed));
+  for (const Cell& c : kCells) {
+    trials.push_back(c.crashes ? crash_golden_params(c.proto, c.seed)
+                               : golden_params(c.proto, c.seed));
+  }
   const auto results = run_experiments(trials, jobs);
   std::vector<std::string> docs;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -82,12 +117,14 @@ TEST(ParallelRunner, ReportsByteIdenticalAcrossJobCounts) {
 }
 
 TEST(ParallelRunner, ReportsMatchPreRewriteGoldenFiles) {
+  // The loss-only goldens pin the pre-event-core-rewrite simulator; the
+  // *_crash goldens pin the durability subsystem's first release.
   const auto docs = reports_at(8);
   for (std::size_t i = 0; i < std::size(kCells); ++i) {
     // The generator wrote each document with a trailing newline.
     EXPECT_EQ(docs[i] + "\n", read_golden(kCells[i]))
         << "report for " << kCells[i].name << " seed " << kCells[i].seed
-        << " no longer matches the pre-rewrite simulator output";
+        << " no longer matches its checked-in golden";
   }
 }
 

@@ -1,0 +1,200 @@
+// Unit tests for the simulated write-ahead log: sync policies, the durable
+// frontier, waiter semantics, crash truncation, torn tails, and replay.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/world.h"
+#include "store/wal.h"
+
+namespace dq::store {
+namespace {
+
+sim::Topology::Params small_topo() {
+  sim::Topology::Params p;
+  p.num_servers = 3;
+  p.num_clients = 1;
+  p.processing_delay = 0;
+  return p;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  explicit WalTest(std::uint64_t seed = 7)
+      : w(sim::Topology(small_topo()), seed) {}
+
+  Wal make(SyncPolicy policy, bool torn = false) {
+    WalParams p;
+    p.policy = policy;
+    p.sync_latency = sim::milliseconds(2);
+    p.flush_interval = sim::milliseconds(10);
+    p.torn_tail_faults = torn;
+    return Wal(w, NodeId(0), p);
+  }
+
+  sim::World w;
+};
+
+TEST_F(WalTest, SyncEveryWriteBecomesDurableAfterSyncLatency) {
+  Wal wal = make(SyncPolicy::kSyncEveryWrite);
+  int fired = 0;
+  const Wal::Lsn lsn = wal.append(WalRecord::put(ObjectId(1), "a", {1, 0}));
+  wal.when_durable(lsn, [&] { ++fired; });
+  EXPECT_EQ(wal.durable_records(), 0u);
+  EXPECT_EQ(fired, 0);
+  w.run_for(sim::milliseconds(1));
+  EXPECT_EQ(fired, 0) << "durable before the sync latency elapsed";
+  w.run_for(sim::milliseconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wal.durable_records(), 1u);
+  EXPECT_EQ(wal.pending_records(), 0u);
+}
+
+TEST_F(WalTest, SyncEveryWritePipelinesAppendsIntoTheNextBatch) {
+  Wal wal = make(SyncPolicy::kSyncEveryWrite);
+  std::vector<int> order;
+  const Wal::Lsn a = wal.append(WalRecord::put(ObjectId(1), "a", {1, 0}));
+  wal.when_durable(a, [&] { order.push_back(1); });
+  // Arrives while the first sync is in flight: joins the *next* sync.
+  w.run_for(sim::milliseconds(1));
+  const Wal::Lsn b = wal.append(WalRecord::put(ObjectId(1), "b", {2, 0}));
+  wal.when_durable(b, [&] { order.push_back(2); });
+  w.run_for(sim::milliseconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  w.run_for(sim::milliseconds(3));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wal.durable_records(), 2u);
+}
+
+TEST_F(WalTest, GroupCommitSyncsTheWholeBatchAtTheFlushInterval) {
+  Wal wal = make(SyncPolicy::kGroupCommit);
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Wal::Lsn lsn = wal.append(
+        WalRecord::put(ObjectId(1), std::string(1, char('a' + i)),
+                       {std::uint64_t(i + 1), 0}));
+    wal.when_durable(lsn, [&] { ++fired; });
+  }
+  w.run_for(sim::milliseconds(9));
+  EXPECT_EQ(fired, 0);
+  w.run_for(sim::milliseconds(2));
+  EXPECT_EQ(fired, 5) << "one flush covers the whole dirty batch";
+  EXPECT_EQ(wal.durable_records(), 5u);
+}
+
+TEST_F(WalTest, AsyncAcksImmediatelyButFrontierStillAdvances) {
+  Wal wal = make(SyncPolicy::kAsync);
+  int fired = 0;
+  const Wal::Lsn lsn = wal.append(WalRecord::put(ObjectId(1), "a", {1, 0}));
+  wal.when_durable(lsn, [&] { ++fired; });
+  EXPECT_EQ(fired, 1) << "kAsync must not gate acks on the medium";
+  EXPECT_EQ(wal.durable_records(), 0u);
+  w.run_for(sim::milliseconds(11));
+  EXPECT_EQ(wal.durable_records(), 1u) << "background flush still syncs";
+}
+
+TEST_F(WalTest, AppendDurableSyncsTheWholePrefixImmediately) {
+  Wal wal = make(SyncPolicy::kGroupCommit);
+  int fired = 0;
+  const Wal::Lsn put = wal.append(WalRecord::put(ObjectId(1), "a", {1, 0}));
+  wal.when_durable(put, [&] { ++fired; });
+  const Wal::Lsn e =
+      wal.append_durable(WalRecord::epoch_record(VolumeId(0), NodeId(2), 3));
+  // The epoch record and everything before it are durable at once...
+  EXPECT_EQ(wal.durable_records(), e + 1);
+  // ...but the unblocked waiter fires from a fresh event, never from inside
+  // the appender's stack.
+  EXPECT_EQ(fired, 0);
+  w.run_for(0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(WalTest, CrashDropsUnsyncedTailAndWaiters) {
+  Wal wal = make(SyncPolicy::kGroupCommit);
+  int fired = 0;
+  const Wal::Lsn a = wal.append(WalRecord::put(ObjectId(1), "a", {1, 0}));
+  wal.when_durable(a, [&] { ++fired; });
+  w.run_for(sim::milliseconds(11));  // flush: "a" is durable
+  const Wal::Lsn b = wal.append(WalRecord::put(ObjectId(1), "b", {2, 0}));
+  wal.when_durable(b, [&] { ++fired; });
+  w.crash(NodeId(0));
+  wal.on_crash();
+  w.restart(NodeId(0));
+  std::vector<std::string> survived;
+  wal.replay([&](const WalRecord& r) { survived.push_back(r.value); });
+  EXPECT_EQ(survived, (std::vector<std::string>{"a"}));
+  w.run_for(sim::seconds(1));
+  EXPECT_EQ(fired, 1) << "the lost record's waiter must never fire";
+}
+
+TEST_F(WalTest, ReplayPreservesAppendOrder) {
+  Wal wal = make(SyncPolicy::kSyncEveryWrite);
+  wal.append(WalRecord::put(ObjectId(1), "a", {1, 0}));
+  wal.append(WalRecord::epoch_record(VolumeId(2), NodeId(1), 7));
+  wal.append(WalRecord::note(NodeId(3), RequestId(9), {2, 0}));
+  w.run_for(sim::milliseconds(10));
+  std::vector<WalRecordKind> kinds;
+  wal.replay([&](const WalRecord& r) { kinds.push_back(r.kind); });
+  EXPECT_EQ(kinds, (std::vector<WalRecordKind>{WalRecordKind::kPut,
+                                               WalRecordKind::kEpoch,
+                                               WalRecordKind::kNote}));
+  const auto snap = w.metrics().snapshot();
+  EXPECT_EQ(snap.counter("wal.replay.records"), 3u);
+}
+
+TEST_F(WalTest, TornTailMayKeepWrittenBehindRecordsAndDropsTheTornOne) {
+  // With a fat unsynced tail the write-behind draw eventually keeps a
+  // strict prefix and tears the next record; everything is seed-driven, so
+  // scan seeds until one exhibits a torn drop, then pin the invariants.
+  bool saw_torn = false;
+  for (std::uint64_t seed = 1; seed <= 32 && !saw_torn; ++seed) {
+    sim::World world(sim::Topology(small_topo()), seed);
+    WalParams p;
+    p.policy = SyncPolicy::kGroupCommit;
+    p.torn_tail_faults = true;
+    Wal wal(world, NodeId(0), p);
+    for (int i = 0; i < 8; ++i) {
+      wal.append(WalRecord::put(ObjectId(1), std::string(1, char('a' + i)),
+                                {std::uint64_t(i + 1), 0}));
+    }
+    world.crash(NodeId(0));
+    wal.on_crash();
+    world.restart(NodeId(0));
+    std::vector<std::string> survived;
+    wal.replay([&](const WalRecord& r) { survived.push_back(r.value); });
+    // Survivors are always a prefix of the appended sequence.
+    for (std::size_t i = 0; i < survived.size(); ++i) {
+      EXPECT_EQ(survived[i], std::string(1, char('a' + i)));
+    }
+    const auto snap = world.metrics().snapshot();
+    if (snap.counter("wal.replay.torn_dropped") > 0) saw_torn = true;
+  }
+  EXPECT_TRUE(saw_torn) << "no seed in 1..32 produced a torn tail";
+}
+
+TEST_F(WalTest, TornTailIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::World world(sim::Topology(small_topo()), seed);
+    WalParams p;
+    p.policy = SyncPolicy::kGroupCommit;
+    p.torn_tail_faults = true;
+    Wal wal(world, NodeId(0), p);
+    for (int i = 0; i < 6; ++i) {
+      wal.append(WalRecord::put(ObjectId(1), std::string(1, char('a' + i)),
+                                {std::uint64_t(i + 1), 0}));
+    }
+    world.crash(NodeId(0));
+    wal.on_crash();
+    world.restart(NodeId(0));
+    std::vector<std::string> survived;
+    wal.replay([&](const WalRecord& r) { survived.push_back(r.value); });
+    return survived;
+  };
+  for (std::uint64_t seed : {3ull, 11ull, 29ull}) {
+    EXPECT_EQ(run(seed), run(seed)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dq::store
