@@ -6,8 +6,10 @@
 //   * scheduler events/sec -- raw schedule+fire throughput of the slab-pool
 //     event core (plus a cancel-heavy variant exercising lazy heap
 //     deletion), the number the ISSUE's >=2x acceptance bar is measured on;
-//   * trial-suite wall-clock -- a fixed 8-trial suite run serially and
-//     again through the parallel runner at --jobs N, with the speedup.
+//   * trial-suite scaling -- a fixed 8-trial suite run through the parallel
+//     runner at every jobs in {1, 2, 4, 8}, with per-point speedups (on a
+//     single-hardware-thread host the table is recorded anyway, with a
+//     warning: regenerate on a multi-core machine).
 //
 // Timing a simulator takes a wall clock, so unlike every other bench this
 // one's numbers vary run to run; the dq.report.v1 documents it records (the
@@ -83,7 +85,6 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) json_path = a.substr(7);
   }
-  const std::size_t jobs = jobs_from_argv(argc, argv);
   const auto hw = static_cast<unsigned>(run::resolve_jobs(0));
 
   header("Throughput", "event-core and trial-suite performance");
@@ -93,29 +94,50 @@ int main(int argc, char** argv) {
   row({"scheduler", "events/sec", fmt_sci(sched)}, 16);
   row({"  50% cancelled", "events/sec", fmt_sci(sched_cancel)}, 16);
 
+  // Trial-suite scaling table: the same fixed suite at every jobs value (the
+  // thread count is passed through raw, deliberately bypassing the --jobs
+  // hardware clamp, so the table measures the machine as configured).
   const auto trials = suite();
-  double t0 = wall_ms();
-  const auto serial = run::run_experiments(trials, 1);
-  const double serial_ms = wall_ms() - t0;
-  t0 = wall_ms();
-  const auto fanned = run::run_experiments(trials, jobs);
-  const double jobs_ms = wall_ms() - t0;
-
-  row({"suite (8 trials)", "serial ms", fmt(serial_ms, 1)}, 16);
-  row({"  --jobs=" + std::to_string(jobs), "ms", fmt(jobs_ms, 1),
-       "speedup " + fmt(serial_ms / jobs_ms, 2) + "x"},
-      16);
-  std::printf("hardware threads: %u\n", hw);
-
-  // Determinism spot-check rides along: the fanned-out suite must reproduce
-  // the serial reports byte for byte.
-  for (std::size_t i = 0; i < trials.size(); ++i) {
-    if (workload::report::to_json(trials[i], serial[i]) !=
-        workload::report::to_json(trials[i], fanned[i])) {
-      std::fprintf(stderr, "FAIL: trial %zu differs at --jobs=%zu\n", i,
-                   jobs);
-      return 1;
+  struct ScalePoint {
+    std::size_t jobs;
+    double ms;
+    double speedup;
+  };
+  std::vector<ScalePoint> scale;
+  std::vector<workload::ExperimentResult> serial;
+  double serial_ms = 0.0;
+  row({"suite (8 trials)", "jobs", "ms", "speedup"}, 16);
+  for (const std::size_t j : {1u, 2u, 4u, 8u}) {
+    const double t0 = wall_ms();
+    auto rs = run::run_experiments(trials, j);
+    const double ms = wall_ms() - t0;
+    if (j == 1) {
+      serial = std::move(rs);
+      serial_ms = ms;
+    } else {
+      // Determinism check rides along: every fanned-out suite must
+      // reproduce the jobs=1 reports byte for byte.
+      for (std::size_t i = 0; i < trials.size(); ++i) {
+        if (workload::report::to_json(trials[i], serial[i]) !=
+            workload::report::to_json(trials[i], rs[i])) {
+          std::fprintf(stderr, "FAIL: trial %zu differs at --jobs=%zu\n", i,
+                       j);
+          return 1;
+        }
+      }
     }
+    scale.push_back({j, ms, serial_ms / ms});
+    row({"", std::to_string(j), fmt(ms, 1), fmt(serial_ms / ms, 2) + "x"},
+        16);
+  }
+  std::printf("hardware threads: %u\n", hw);
+  const bool single_core = hw == 1;
+  if (single_core) {
+    std::fprintf(stderr,
+                 "warning: this host has a single hardware thread; the "
+                 "scaling table cannot show parallel speedup -- regenerate "
+                 "%s on a multi-core machine\n",
+                 json_path.c_str());
   }
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -128,10 +150,21 @@ int main(int argc, char** argv) {
                ",\"throughput\":{\"scheduler_events_per_sec\":%.0f,"
                "\"scheduler_events_per_sec_cancel_heavy\":%.0f,"
                "\"suite_trials\":%zu,\"suite_serial_ms\":%.1f,"
-               "\"suite_jobs\":%zu,\"suite_jobs_ms\":%.1f,"
-               "\"suite_speedup\":%.2f,\"hardware_threads\":%u}",
-               sched, sched_cancel, trials.size(), serial_ms, jobs, jobs_ms,
-               serial_ms / jobs_ms, hw);
+               "\"hardware_threads\":%u",
+               sched, sched_cancel, trials.size(), serial_ms, hw);
+  std::fprintf(f, ",\"suite_scaling\":[");
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    std::fprintf(f, "%s{\"jobs\":%zu,\"ms\":%.1f,\"speedup\":%.2f}",
+                 i == 0 ? "" : ",", scale[i].jobs, scale[i].ms,
+                 scale[i].speedup);
+  }
+  std::fprintf(f, "]");
+  if (single_core) {
+    std::fprintf(f,
+                 ",\"warning\":\"single hardware thread: speedups are not "
+                 "meaningful; regenerate on a multi-core machine\"");
+  }
+  std::fprintf(f, "}");
   std::fprintf(f, ",\"runs\":[");
   for (std::size_t i = 0; i < trials.size(); ++i) {
     std::fprintf(f, "%s%s", i == 0 ? "" : ",",

@@ -4,6 +4,17 @@
 
 namespace dq::obs {
 
+namespace {
+// The calling partition's lane.  Lane 0 outside the parallel engine, so every
+// serial simulation (and all setup-time registration on the main thread)
+// behaves exactly as before lanes existed.
+thread_local std::uint32_t t_current_lane = 0;
+}  // namespace
+
+std::uint32_t current_lane() { return t_current_lane; }
+
+void set_current_lane(std::uint32_t lane) { t_current_lane = lane; }
+
 double HistogramData::bucket_upper_ms(std::size_t i) {
   double ub = kFirstUpperMs;
   for (std::size_t k = 0; k < i; ++k) ub *= 2.0;
@@ -54,8 +65,14 @@ void HistogramData::merge(const HistogramData& other) {
   max = std::max(max, other.max);
 }
 
+HistogramData Histogram::merged() const {
+  HistogramData out = data_;
+  for (const HistogramData& d : extra_) out.merge(d);
+  return out;
+}
+
 void Histogram::observe(double v_ms) {
-  HistogramData& d = data_;
+  HistogramData& d = lane_data();
   if (d.count == 0) {
     d.min = v_ms;
     d.max = v_ms;
@@ -98,21 +115,25 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
 }
 
+void MetricsRegistry::set_lanes(std::uint32_t n) {
+  lanes_ = n < 1 ? 1 : n;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) slot = std::make_unique<Counter>(lanes_);
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) slot = std::make_unique<Gauge>(lanes_);
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
+  if (!slot) slot = std::make_unique<Histogram>(lanes_);
   return *slot;
 }
 
@@ -122,14 +143,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) {
     s.gauges[name] = GaugeSnapshot{g->value(), g->max()};
   }
-  for (const auto& [name, h] : histograms_) s.histograms[name] = h->data();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->merged();
   return s;
 }
 
 void MetricsRegistry::reset() {
-  for (auto& [name, c] : counters_) *c = Counter{};
-  for (auto& [name, g] : gauges_) *g = Gauge{};
-  for (auto& [name, h] : histograms_) *h = Histogram{};
+  for (auto& [name, c] : counters_) *c = Counter{lanes_};
+  for (auto& [name, g] : gauges_) *g = Gauge{lanes_};
+  for (auto& [name, h] : histograms_) *h = Histogram{lanes_};
 }
 
 std::string node_metric(const std::string& base, std::uint32_t node) {

@@ -24,30 +24,95 @@
 
 namespace dq::obs {
 
+// --- lanes -----------------------------------------------------------------
+// The parallel world engine (sim/parallel_world.h) runs several partitions of
+// one simulation concurrently, and actors in different partitions share named
+// instruments (protocol code caches an instrument pointer at construction).
+// Instead of per-partition registries, every instrument can carry one *lane*
+// per partition: updates go to the calling partition's private lane (no
+// cross-thread writes), and snapshot() folds lanes together in fixed lane
+// order, so the rendered values are identical at any thread count.  A
+// registry created without set_lanes() has exactly one lane and the exact
+// pre-lane behavior (and cost: the hot path tests one empty-vector branch).
+//
+// The current lane is ambient per-thread state owned by the engine; lane 0 is
+// the default everywhere else, including all serial simulations.
+[[nodiscard]] std::uint32_t current_lane();
+void set_current_lane(std::uint32_t lane);
+
 // Monotone event count.
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  Counter() = default;
+  explicit Counter(std::uint32_t lanes) {
+    if (lanes > 1) extra_.assign(lanes - 1, 0);
+  }
+
+  void inc(std::uint64_t delta = 1) {
+    if (extra_.empty()) {
+      value_ += delta;
+      return;
+    }
+    const std::uint32_t lane = current_lane();
+    (lane == 0 ? value_ : extra_[lane - 1]) += delta;
+  }
+  // Sum over lanes; call only while no partition is mid-round.
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t v = value_;
+    for (const std::uint64_t e : extra_) v += e;
+    return v;
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::uint64_t value_ = 0;              // lane 0
+  std::vector<std::uint64_t> extra_;     // lanes 1..N-1
 };
 
 // Instantaneous level (queue depth, in-flight calls) with a high-water mark.
+// With lanes, each partition tracks its own level; the reported value is the
+// sum of lane levels and the reported max the sum of lane maxima (an upper
+// bound on the true global high-water mark -- exact in the serial case).
 class Gauge {
  public:
-  void set(std::int64_t v) {
-    value_ = v;
-    if (v > max_) max_ = v;
+  Gauge() = default;
+  explicit Gauge(std::uint32_t lanes) {
+    if (lanes > 1) extra_.assign(lanes - 1, Cell{});
   }
-  void add(std::int64_t delta) { set(value_ + delta); }
-  [[nodiscard]] std::int64_t value() const { return value_; }
-  [[nodiscard]] std::int64_t max() const { return max_; }
+
+  void set(std::int64_t v) {
+    Cell& c = cell();
+    c.value = v;
+    if (v > c.max) c.max = v;
+  }
+  void add(std::int64_t delta) {
+    Cell& c = cell();
+    c.value += delta;
+    if (c.value > c.max) c.max = c.value;
+  }
+  [[nodiscard]] std::int64_t value() const {
+    std::int64_t v = cell0_.value;
+    for (const Cell& c : extra_) v += c.value;
+    return v;
+  }
+  [[nodiscard]] std::int64_t max() const {
+    std::int64_t m = cell0_.max;
+    for (const Cell& c : extra_) m += c.max;
+    return m;
+  }
 
  private:
-  std::int64_t value_ = 0;
-  std::int64_t max_ = 0;
+  struct Cell {
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+  };
+  [[nodiscard]] Cell& cell() {
+    if (extra_.empty()) return cell0_;
+    const std::uint32_t lane = current_lane();
+    return lane == 0 ? cell0_ : extra_[lane - 1];
+  }
+
+  Cell cell0_;               // lane 0
+  std::vector<Cell> extra_;  // lanes 1..N-1
 };
 
 // Frozen histogram state; also the merge/quantile math shared by live
@@ -82,13 +147,33 @@ struct HistogramData {
 // Live histogram of durations in milliseconds.
 class Histogram {
  public:
-  Histogram() { data_.buckets.assign(HistogramData::kBuckets, 0); }
+  Histogram() { init_buckets(data_); }
+  explicit Histogram(std::uint32_t lanes) {
+    init_buckets(data_);
+    if (lanes > 1) {
+      extra_.resize(lanes - 1);
+      for (HistogramData& d : extra_) init_buckets(d);
+    }
+  }
 
   void observe(double v_ms);
+  // Lane 0 only -- the whole story for serial registries.
   [[nodiscard]] const HistogramData& data() const { return data_; }
+  // All lanes folded together in lane order (what snapshots render).
+  [[nodiscard]] HistogramData merged() const;
 
  private:
-  HistogramData data_;
+  static void init_buckets(HistogramData& d) {
+    d.buckets.assign(HistogramData::kBuckets, 0);
+  }
+  [[nodiscard]] HistogramData& lane_data() {
+    if (extra_.empty()) return data_;
+    const std::uint32_t lane = current_lane();
+    return lane == 0 ? data_ : extra_[lane - 1];
+  }
+
+  HistogramData data_;                // lane 0
+  std::vector<HistogramData> extra_;  // lanes 1..N-1
 };
 
 struct GaugeSnapshot {
@@ -123,6 +208,12 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  // Give every instrument registered from here on `n` lanes (one per world
+  // partition).  Must be called before any instrument exists -- the world
+  // sets it up front, before protocol construction registers anything.
+  void set_lanes(std::uint32_t n);
+  [[nodiscard]] std::uint32_t lanes() const { return lanes_; }
+
   // Find-or-create by name.  References stay valid for the registry's
   // lifetime; call once at setup, keep the pointer, update it on the hot
   // path.
@@ -134,6 +225,7 @@ class MetricsRegistry {
   void reset();  // zero every instrument (registrations survive)
 
  private:
+  std::uint32_t lanes_ = 1;
   // node_maps keep instrument addresses stable across later registrations.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

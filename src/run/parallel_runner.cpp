@@ -3,12 +3,12 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/parallel_world.h"
+
 namespace dq::run {
 
 std::size_t resolve_jobs(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return sim::par::clamp_threads(requested, "--jobs");
 }
 
 void parallel_for_index(std::size_t n, std::size_t jobs,

@@ -10,9 +10,10 @@
 // run_experiments(trials, 1) (tests/parallel_runner_test.cpp holds this
 // against checked-in golden reports).
 //
-// This directory is the ONLY place in the tree allowed to touch threading
-// primitives; dqlint's det-thread rule enforces that the deterministic
-// simulator core stays single-threaded.
+// Threading primitives are allowed in exactly two places: this directory and
+// the conservative intra-trial engine (src/sim/parallel_world.*, which needs
+// per-use justified suppressions); dqlint's det-thread rule enforces that
+// the rest of the deterministic simulator core stays single-threaded.
 #pragma once
 
 #include <cstddef>
@@ -23,8 +24,10 @@
 
 namespace dq::run {
 
-// Resolve a --jobs request: 0 means "one per hardware thread"; anything
-// else is used as given.  Never returns 0.
+// Resolve a --jobs request: 0 means "one per hardware thread"; values above
+// the hardware concurrency are clamped with a note on stderr (trials are
+// CPU-bound, so oversubscribing just adds context switches).  Never
+// returns 0.
 [[nodiscard]] std::size_t resolve_jobs(std::size_t requested);
 
 // Invoke fn(i) once for every i in [0, n), spread over min(jobs, n) worker

@@ -107,4 +107,13 @@ void MessageStats::reset() {
   by_type_.fill(0);
 }
 
+void MessageStats::merge(const MessageStats& other) {
+  total_ += other.total_;
+  bytes_ += other.bytes_;
+  s2s_ += other.s2s_;
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
+    by_type_[i] += other.by_type_[i];
+  }
+}
+
 }  // namespace dq::sim

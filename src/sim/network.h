@@ -167,6 +167,10 @@ class MessageStats {
   [[nodiscard]] std::map<std::string, std::uint64_t> table() const;
   void reset();
 
+  // Fold another accounting into this one (the partitioned engine keeps one
+  // MessageStats per partition and merges them for reporting).
+  void merge(const MessageStats& other);
+
  private:
   std::uint64_t total_ = 0;
   std::uint64_t bytes_ = 0;

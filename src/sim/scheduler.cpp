@@ -68,6 +68,16 @@ std::size_t Scheduler::run_until(Time deadline) {
   return ran;
 }
 
+Time Scheduler::next_event_time() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const Slot& s = slot(top.slot);
+    if (s.armed && s.gen == top.gen) return top.when;
+    heap_pop_root();  // lazily deleted (cancelled) entry
+  }
+  return kTimeInfinity;
+}
+
 void Scheduler::cancel_event(std::uint32_t slot_idx, std::uint32_t gen) {
   if (slot_idx >= num_slots_) return;
   Slot& s = slot(slot_idx);

@@ -96,6 +96,13 @@ class Scheduler {
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t executed_events() const { return executed_; }
 
+  // Timestamp of the earliest pending event, or kTimeInfinity when the queue
+  // is empty.  Prunes lazily-cancelled heap entries on the way (which is why
+  // it is not const) so the answer reflects only live events.  The parallel
+  // world engine polls this per synchronization round to size the next safe
+  // execution window.
+  [[nodiscard]] Time next_event_time();
+
   // Pool slots ever allocated (high-water mark of concurrently pending
   // events, rounded up to a chunk).  Introspection for tests and the
   // throughput bench: a steady pool size means the hot loop is recycling

@@ -6,7 +6,7 @@
 
 namespace dq::sim {
 
-World::World(Topology topology, std::uint64_t seed)
+World::World(Topology topology, std::uint64_t seed, Parallelism parallel)
     : topo_(std::move(topology)),
       rng_(seed),
       faults_(topo_.num_nodes()),
@@ -16,6 +16,27 @@ World::World(Topology topology, std::uint64_t seed)
       incarnation_(topo_.num_nodes(), 0),
       sent_by_(topo_.num_nodes(), 0),
       received_by_(topo_.num_nodes(), 0) {
+  if (parallel.partitions > 0) {
+    plan_ = par::make_partition_plan(topo_, parallel.partitions);
+    // Lanes must exist before any instrument registers (including the net
+    // counters right below).
+    metrics_.set_lanes(static_cast<std::uint32_t>(plan_.count));
+    Rng seeder(seed);
+    parts_.reserve(plan_.count);
+    for (std::size_t p = 0; p < plan_.count; ++p) {
+      auto st = std::make_unique<par::PartitionState>();
+      st->world = this;
+      st->index = static_cast<std::uint32_t>(p);
+      st->sched = std::make_unique<Scheduler>();
+      // Independent per-partition streams derived from the trial seed; the
+      // derivation depends only on (seed, partition), never on threads.
+      st->rng = seeder.split();
+      st->tracer.enable(true);  // world.trace() gates on the main tracer
+      st->outbox.resize(plan_.count);
+      parts_.push_back(std::move(st));
+    }
+    engine_ = std::make_unique<par::Engine>(*this, parallel.threads);
+  }
   m_sent_ = &metrics_.counter("net.sent");
   m_bytes_ = &metrics_.counter("net.bytes");
   m_delivered_ = &metrics_.counter("net.delivered");
@@ -28,6 +49,8 @@ World::World(Topology topology, std::uint64_t seed)
     m_link_bytes_[i] = &metrics_.counter("net.bytes." + suffix);
   }
 }
+
+World::~World() = default;
 
 void World::attach(NodeId node, Actor& actor) {
   DQ_INVARIANT(node.value() < actors_.size(), "node id out of range");
@@ -42,12 +65,54 @@ void World::set_clock(NodeId node, DriftClock clock) {
   clocks_.at(node.value()) = clock;
 }
 
+Scheduler& World::scheduler() {
+  DQ_INVARIANT(parts_.empty(),
+               "scheduler() is the serial engine's queue; on the partitioned "
+               "engine schedule through set_timer");
+  return sched_;
+}
+
+Scheduler& World::sched_for(std::uint32_t node_idx) {
+  if (parts_.empty()) return sched_;
+  par::PartitionState& owner = *parts_[plan_.of_node[node_idx]];
+  par::PartitionState* cur = par::current_state();
+  DQ_INVARIANT(cur == nullptr || cur->world != this || cur == &owner,
+               "timers may only target the running partition's own nodes");
+  return *owner.sched;
+}
+
+MessageStats& World::message_stats() {
+  if (parts_.empty()) return stats_;
+  merged_stats_.reset();
+  for (const auto& st : parts_) merged_stats_.merge(st->stats);
+  return merged_stats_;
+}
+
+std::uint64_t World::dropped_messages() const {
+  std::uint64_t total = dropped_;
+  for (const auto& st : parts_) total += st->dropped;
+  return total;
+}
+
+std::size_t World::executed_events() const {
+  if (parts_.empty()) return sched_.executed_events();
+  std::size_t total = 0;
+  for (const auto& st : parts_) total += st->sched->executed_events();
+  return total;
+}
+
 void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
                         msg::Payload body, bool is_reply) {
   if (!faults_.is_up(src) || crashed_.at(src.value())) {
     return;  // a dead or disconnected node cannot put anything on the wire
   }
-  const std::uint64_t size = stats_.count(body);
+  const bool partitioned = !parts_.empty();
+  par::PartitionState* st = partitioned ? &active_state() : nullptr;
+  Rng& rng = st != nullptr ? st->rng : rng_;
+  MessageStats& stats = st != nullptr ? st->stats : stats_;
+  std::uint64_t& dropped = st != nullptr ? st->dropped : dropped_;
+
+  const std::uint64_t size = stats.count(body);
   ++sent_by_.at(src.value());
   m_sent_->inc();
   m_bytes_->inc(size);
@@ -55,32 +120,37 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
   m_link_msgs_[link]->inc();
   m_link_bytes_[link]->inc(size);
   if (tracer_.enabled()) {
-    tracer_.emit(now(), src, "net",
-                 std::string(is_reply ? "reply " : "send ") +
-                     msg::payload_name(body) + " -> n" +
-                     std::to_string(dst.value()));
+    Tracer& tr = st != nullptr ? st->tracer : tracer_;
+    tr.emit(now(), src, "net",
+            std::string(is_reply ? "reply " : "send ") +
+                msg::payload_name(body) + " -> n" +
+                std::to_string(dst.value()));
   }
   if (!faults_.reachable(src, dst)) {
-    ++dropped_;
+    ++dropped;
     m_dropped_->inc();
     return;
   }
   const int copies = faults_.duplication_probability() > 0.0 &&
-                             rng_.chance(faults_.duplication_probability())
+                             rng.chance(faults_.duplication_probability())
                          ? 2
                          : 1;
   for (int c = 0; c < copies; ++c) {
     if (faults_.loss_probability() > 0.0 &&
-        rng_.chance(faults_.loss_probability())) {
-      ++dropped_;
+        rng.chance(faults_.loss_probability())) {
+      ++dropped;
       m_dropped_->inc();
       continue;
     }
-    const Duration delay = topo_.one_way_delay(src, dst, rng_);
+    const Duration delay = topo_.one_way_delay(src, dst, rng);
     // The last copy moves the body instead of copying it (duplication is
     // rare, so the common case is zero payload copies past this point).
     Envelope env{src, dst, rpc_id,
                  c + 1 == copies ? std::move(body) : body, is_reply};
+    if (partitioned) {
+      route_partitioned(std::move(env), delay);
+      continue;
+    }
     auto fire = [this, env = std::move(env)]() mutable {
       deliver(std::move(env));
     };
@@ -92,13 +162,44 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
   }
 }
 
+void World::route_partitioned(Envelope env, Duration delay) {
+  if (delay < 0) delay = 0;
+  const std::uint32_t dst_part = plan_.of_node[env.dst.value()];
+  par::PartitionState* cur = par::current_state();
+  const bool in_step = cur != nullptr && cur->world == this;
+  if (in_step && dst_part != cur->index) {
+    // Cross-partition: park in the outbox until the round barrier; the
+    // engine merges all mailboxes in (deliver_time, global_seq, dst_node)
+    // order, which fixes the total order independent of threads.
+    cur->outbox[dst_part].push_back(par::Mail{
+        cur->sched->now() + delay,
+        (static_cast<std::uint64_t>(cur->index) << 40) | ++cur->send_seq,
+        std::move(env)});
+    return;
+  }
+  // Intra-partition, or a coordinating-thread send between rounds (all
+  // partition clocks agree then): straight onto the owner's queue.
+  Scheduler& queue = *parts_[dst_part]->sched;
+  const Time base = in_step ? cur->sched->now() : queue.now();
+  auto fire = [this, env = std::move(env)]() mutable {
+    deliver(std::move(env));
+  };
+  static_assert(Scheduler::EventFn::fits_inline<decltype(fire)>(),
+                "delivery callback must fit the scheduler's inline buffer");
+  queue.schedule_at(base + delay, std::move(fire));
+}
+
 void World::deliver(Envelope env) {
   const auto idx = env.dst.value();
   // Reachability is also checked at delivery time so that a partition that
   // started while the message was in flight eats it (a message cannot
   // outrun a partition in this model; good enough for the experiments).
   if (!faults_.is_up(env.dst) || crashed_.at(idx)) {
-    ++dropped_;
+    if (parts_.empty()) {
+      ++dropped_;
+    } else {
+      ++active_state().dropped;
+    }
     m_dropped_->inc();
     return;
   }
@@ -110,6 +211,8 @@ void World::deliver(Envelope env) {
 }
 
 void World::crash(NodeId node) {
+  DQ_INVARIANT(par::current_state() == nullptr,
+               "crash() may not run inside a partition step");
   const auto idx = node.value();
   if (crashed_.at(idx)) return;
   trace(node, "fault", "crash");
@@ -120,6 +223,8 @@ void World::crash(NodeId node) {
 }
 
 void World::restart(NodeId node) {
+  DQ_INVARIANT(par::current_state() == nullptr,
+               "restart() may not run inside a partition step");
   const auto idx = node.value();
   if (!crashed_.at(idx)) return;
   trace(node, "fault", "restart");

@@ -4,6 +4,16 @@
 // Every protocol node and every client is an Actor.  Actors interact with
 // the world only through the narrow API here (send / timers / clocks / rng),
 // which is what makes failure injection and deterministic replay possible.
+//
+// A world runs on one of two engines:
+//   * serial (default): one scheduler, one rng, exactly the classic
+//     behavior;
+//   * partitioned (Parallelism{partitions > 0}): nodes are split into
+//     topology-derived partitions, each with its own scheduler/rng/stats
+//     lane, executed in conservative lookahead rounds by a worker pool
+//     (sim/parallel_world.h).  Output is a pure function of the partition
+//     plan -- byte-identical at any thread count -- but differs from the
+//     serial engine's schedule, so callers opt in explicitly.
 #pragma once
 
 #include <functional>
@@ -17,6 +27,7 @@
 #include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/network.h"
+#include "sim/parallel_world.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
 #include "sim/time.h"
@@ -52,7 +63,20 @@ class Actor {
 
 class World {
  public:
-  World(Topology topology, std::uint64_t seed);
+  // Intra-trial parallelism knobs.  partitions == 0 selects the classic
+  // serial engine.  partitions >= 1 selects the partitioned engine (the
+  // count is clamped to [1, num_servers]; pass
+  // par::default_partition_count(topo) for the standard topology-derived
+  // plan).  `threads` sizes the worker pool and never affects results.
+  struct Parallelism {
+    std::size_t partitions = 0;
+    std::size_t threads = 1;
+  };
+
+  World(Topology topology, std::uint64_t seed)
+      : World(std::move(topology), seed, Parallelism{}) {}
+  World(Topology topology, std::uint64_t seed, Parallelism parallel);
+  ~World();
 
   // Non-copyable: actors hold back-pointers.
   World(const World&) = delete;
@@ -67,9 +91,11 @@ class World {
   void set_clock(NodeId node, DriftClock clock);
 
   // --- actor-facing API ----------------------------------------------------
-  [[nodiscard]] Time now() const { return sched_.now(); }
+  [[nodiscard]] Time now() const {
+    return parts_.empty() ? sched_.now() : active_state().sched->now();
+  }
   [[nodiscard]] Time local_now(NodeId node) const {
-    return clock_of(node).local_time(sched_.now());
+    return clock_of(node).local_time(now());
   }
   [[nodiscard]] const DriftClock& clock_of(NodeId node) const {
     return clocks_.at(node.value());
@@ -97,7 +123,7 @@ class World {
   TimerToken set_timer(NodeId node, Duration delay, F fn) {
     const auto idx = node.value();
     const std::uint64_t inc = incarnation_.at(idx);
-    return sched_.schedule_after(
+    return sched_for(idx).schedule_after(
         delay, [this, idx, inc, fn = std::move(fn)]() mutable {
           if (crashed_.at(idx) || incarnation_.at(idx) != inc) return;
           fn();
@@ -112,19 +138,37 @@ class World {
     return set_timer(node, delay < 0 ? 0 : delay, std::move(fn));
   }
 
-  [[nodiscard]] Rng& rng() { return rng_; }
-  [[nodiscard]] RequestId fresh_rpc_id() { return RequestId(++next_rpc_id_); }
+  [[nodiscard]] Rng& rng() {
+    return parts_.empty() ? rng_ : active_state().rng;
+  }
+  [[nodiscard]] RequestId fresh_rpc_id() {
+    if (parts_.empty()) return RequestId(++next_rpc_id_);
+    // Partition-disjoint id spaces: high bits carry the partition, so two
+    // partitions can mint ids concurrently and never collide.  Partition 0
+    // (and therefore every single-partition plan) mints the serial values.
+    par::PartitionState& st = active_state();
+    return RequestId((static_cast<std::uint64_t>(st.index) << 48) |
+                     ++st.next_rpc_id);
+  }
 
   // --- tracing ---------------------------------------------------------------
+  // Enable/inspect via tracer().  On the partitioned engine each partition
+  // buffers its own events and the engine folds them into this tracer in a
+  // deterministic (time, partition, emission) order at the end of each run
+  // call.
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] bool tracing() const { return tracer_.enabled(); }
   // Emit a protocol event at `node` (no-op unless tracing is enabled).
   void trace(NodeId node, std::string category, std::string detail) {
-    tracer_.emit(now(), node, std::move(category), std::move(detail));
+    if (!tracer_.enabled()) return;
+    Tracer& t = parts_.empty() ? tracer_ : active_state().tracer;
+    t.emit(now(), node, std::move(category), std::move(detail));
   }
 
   // --- failure injection ---------------------------------------------------
   // Unreachability (network failure): node keeps running, no traffic in/out.
+  // Mid-run fault mutation is a serial-engine feature (the experiment
+  // harness falls back to serial when injection is configured).
   void set_up(NodeId node, bool up) { faults_.set_up(node, up); }
   [[nodiscard]] bool is_up(NodeId node) const { return faults_.is_up(node); }
 
@@ -139,15 +183,33 @@ class World {
   [[nodiscard]] FaultPlane& faults() { return faults_; }
 
   // --- running -------------------------------------------------------------
-  std::size_t run_until(Time deadline) { return sched_.run_until(deadline); }
-  std::size_t run_for(Duration d) { return sched_.run_until(now() + d); }
-  std::size_t run_all() { return sched_.run_all(); }
-  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  std::size_t run_until(Time deadline) {
+    return parts_.empty() ? sched_.run_until(deadline)
+                          : engine_->run_until(deadline);
+  }
+  std::size_t run_for(Duration d) { return run_until(now() + d); }
+  std::size_t run_all() {
+    return parts_.empty() ? sched_.run_all()
+                          : engine_->run_until(kTimeInfinity);
+  }
+  // The serial engine's event queue.  Injectors and tests that schedule raw
+  // events use it; on the partitioned engine there is no single queue, so
+  // this trips an invariant -- schedule through set_timer instead.
+  [[nodiscard]] Scheduler& scheduler();
 
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] const Topology& topology() const { return topo_; }
-  [[nodiscard]] MessageStats& message_stats() { return stats_; }
-  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+  // Serial: the live per-run accounting.  Partitioned: a merged view over
+  // the per-partition lanes, rebuilt on each call (read it between runs).
+  [[nodiscard]] MessageStats& message_stats();
+  [[nodiscard]] std::uint64_t dropped_messages() const;
+  // Events executed so far, summed over every partition's scheduler.
+  [[nodiscard]] std::size_t executed_events() const;
+
+  // The active partition plan; count == 0 on the serial engine.
+  [[nodiscard]] const par::PartitionPlan& partition_plan() const {
+    return plan_;
+  }
 
   // The world's metrics registry.  Purely passive accounting: recording or
   // snapshotting metrics never schedules events, draws randomness, or sends
@@ -168,7 +230,25 @@ class World {
   }
 
  private:
+  friend class par::Engine;
+
   void deliver(Envelope env);
+
+  // The partition state backing the calling thread: its own state inside a
+  // partition step, partition 0 from the coordinating thread (setup-time
+  // rng draws and sends come from partition 0's stream and lane).
+  [[nodiscard]] par::PartitionState& active_state() const {
+    par::PartitionState* s = par::current_state();
+    if (s != nullptr && s->world == this) return *s;
+    return *parts_.front();
+  }
+
+  // The scheduler that owns `node`'s events.  Inside a partition step only
+  // the running partition's own nodes may be targeted (cross-partition
+  // timers would race the owner's queue).
+  [[nodiscard]] Scheduler& sched_for(std::uint32_t node_idx);
+
+  void route_partitioned(Envelope env, Duration delay);
 
   Topology topo_;
   Rng rng_;
@@ -176,6 +256,7 @@ class World {
   Tracer tracer_;
   FaultPlane faults_;
   MessageStats stats_;
+  MessageStats merged_stats_;  // partitioned: rebuilt by message_stats()
   obs::MetricsRegistry metrics_;
   // Pre-registered network instruments (hot path: no name lookups).
   obs::Counter* m_sent_ = nullptr;
@@ -193,6 +274,11 @@ class World {
   std::uint64_t dropped_ = 0;
   std::vector<std::uint64_t> sent_by_;
   std::vector<std::uint64_t> received_by_;
+  // Partitioned-engine state; parts_ empty means serial.  The engine comes
+  // last so its worker pool is torn down before anything it references.
+  par::PartitionPlan plan_;
+  std::vector<std::unique_ptr<par::PartitionState>> parts_;
+  std::unique_ptr<par::Engine> engine_;
 };
 
 }  // namespace dq::sim

@@ -211,11 +211,13 @@ const std::vector<RuleInfo>& rules() {
        " use std::map/std::set",
        kDetScope,
        {},
+       {},
        {}},
       {kRuleDetRand,
        "libc rand/random family: unseeded global state outside the "
        "experiment seed; draw from dq::Rng",
        kDetScope,
+       {},
        {},
        {}},
       {kRuleDetWallClock,
@@ -224,11 +226,13 @@ const std::vector<RuleInfo>& rules() {
        "local_now()",
        kDetScope,
        {},
+       {},
        {}},
       {kRuleDetRandomDevice,
        "std::random_device is non-deterministic by design; seed dq::Rng "
        "from the experiment seed",
        kDetScope,
+       {},
        {},
        {}},
       {kRuleDetRngEngine,
@@ -237,26 +241,31 @@ const std::vector<RuleInfo>& rules() {
        "seeded dq::Rng (split() for child streams)",
        kDetScope,
        {},
+       {},
        {}},
       {kRuleDetPtrKey,
        "pointer-keyed ordered container: iteration order follows allocation "
        "addresses, which differ run to run; key by a strong id instead",
        kDetScope,
        {},
+       {},
        {}},
       {kRuleDetThread,
        "std threading primitive (thread/async/mutex/atomic/...): a World is "
-       "single-threaded by contract -- parallelism lives in src/run/, which "
-       "fans out whole Worlds; threads anywhere else race the deterministic "
-       "schedule",
+       "single-threaded by contract -- parallelism lives in src/run/ (whole-"
+       "World fan-out, exempt) and src/sim/parallel_* (the conservative "
+       "intra-trial engine, each use justified with a suppression); threads "
+       "anywhere else race the deterministic schedule",
        {},
        {"src/run/"},
-       {}},
+       {},
+       {"src/sim/parallel_"}},
       {kRuleProtoDirectSend,
        "direct world_.send/send_tagged in a dual-quorum server: replies "
        "must route through world_.reply or the QRPC engine so retransmission "
        "and reply accounting stay correct",
        {"src/core/"},
+       {},
        {},
        {}},
       {kRuleProtoEpochCompare,
@@ -265,12 +274,14 @@ const std::vector<RuleInfo>& rules() {
        "epoch semantics",
        {"src/core/", "src/protocols/"},
        {},
+       {},
        {}},
       {kRuleProtoObsRead,
        "obs/ instrument read (m_*->value/max/data) in protocol code: "
        "metrics are write-only in decision paths, else observability "
        "perturbs the protocol",
        {"src/core/", "src/protocols/", "src/rpc/"},
+       {},
        {},
        {}},
       {kRuleDurableState,
@@ -280,17 +291,20 @@ const std::vector<RuleInfo>& rules() {
        "silently loses them; route through Wal or justify with a suppression",
        {"src/core/"},
        {},
-       {"src/core/oqs_server.cpp"}},
+       {"src/core/oqs_server.cpp"},
+       {}},
       {kRuleHygAssert,
        "assert()/<cassert> vanishes under NDEBUG; protocol invariants use "
        "the always-on DQ_INVARIANT (common/assert.h)",
        {},
        {},
-       {"src/common/assert.h"}},
+       {"src/common/assert.h"},
+       {}},
       {kRuleHygNakedNew,
        "naked new/delete in protocol code; own memory with std::unique_ptr/"
        "std::make_shared",
        {"src/core/", "src/protocols/", "src/rpc/", "src/quorum/"},
+       {},
        {},
        {}},
       {kRuleBadSuppression,
@@ -298,9 +312,11 @@ const std::vector<RuleInfo>& rules() {
        "': justification')",
        {},
        {},
+       {},
        {}},
       {kRuleUnusedSuppression,
        "dqlint:allow directive that suppresses nothing; delete it",
+       {},
        {},
        {},
        {}},
@@ -600,6 +616,7 @@ struct Directive {
   std::vector<std::string> rule_ids;
   std::string justification;
   bool used = false;
+  bool scope_error_reported = false;  // one misplaced-directive diag is enough
 };
 
 std::string trim(std::string s) {
@@ -708,8 +725,32 @@ FileReport lint_source(const std::string& path, const std::string& content,
     }
     if (match != nullptr) {
       match->used = true;
-      fr.suppressions.push_back(
-          {d.file, match->line, d.rule, match->justification});
+      // Some rules only honor suppressions inside a sanctioned subtree
+      // (RuleInfo::suppress_prefixes); elsewhere the directive is itself a
+      // diagnostic and the violation stands.
+      const RuleInfo* info = find_rule(d.rule.c_str());
+      const bool suppressible =
+          !apply_scopes || info == nullptr ||
+          info->suppress_prefixes.empty() ||
+          std::any_of(info->suppress_prefixes.begin(),
+                      info->suppress_prefixes.end(),
+                      [&](const std::string& p) {
+                        return path.compare(0, p.size(), p) == 0;
+                      });
+      if (suppressible) {
+        fr.suppressions.push_back(
+            {d.file, match->line, d.rule, match->justification});
+      } else {
+        if (!match->scope_error_reported) {
+          match->scope_error_reported = true;
+          fr.diagnostics.push_back(
+              {path, match->line, kRuleBadSuppression,
+               "dqlint:allow(" + d.rule + ") is only honored under " +
+                   info->suppress_prefixes.front() +
+                   "*; the violation stands"});
+        }
+        fr.diagnostics.push_back(std::move(d));
+      }
     } else {
       fr.diagnostics.push_back(std::move(d));
     }

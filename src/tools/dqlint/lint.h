@@ -65,6 +65,13 @@ struct RuleInfo {
   // Exact relative paths exempt from the rule (e.g. the one file allowed
   // to define assertion macros).
   std::vector<std::string> exempt_files;
+  // Path prefixes where a per-site `dqlint:allow(<id>)` directive is
+  // honored.  Empty = suppressible anywhere (the default).  When non-empty
+  // and scopes apply, a directive for this rule in any other location is
+  // itself a lint-bad-suppression diagnostic and the violation stands --
+  // used for rules like det-thread, whose escape hatch must not leak beyond
+  // the sanctioned subsystem (src/sim/parallel_*).
+  std::vector<std::string> suppress_prefixes;
 };
 
 // The full rule table, in stable order (also the JSON "rules" array).

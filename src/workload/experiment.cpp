@@ -1,5 +1,6 @@
 #include "workload/experiment.h"
 
+#include <cstdio>
 #include <memory>
 #include <utility>
 
@@ -29,8 +30,25 @@ std::vector<Protocol> paper_protocols() {
 }
 
 Deployment::Deployment(const ExperimentParams& params) : params_(params) {
-  world_ = std::make_unique<sim::World>(sim::Topology(params_.topo),
-                                        params_.seed);
+  sim::Topology topo_desc(params_.topo);
+  sim::World::Parallelism parallel;
+  if (params_.world_threads >= 1) {
+    if (params_.failures || params_.crashes) {
+      // Fault/crash injectors mutate cross-partition reachability mid-run,
+      // which the conservative engine's lookahead cannot see.  Serial keeps
+      // them exact; note it so a benchmark user isn't silently slower.
+      std::fprintf(stderr,
+                   "note: --world-threads ignored: failure/crash injection "
+                   "requires the serial engine\n");
+    } else {
+      parallel.partitions = params_.world_partitions > 0
+                                ? params_.world_partitions
+                                : sim::par::default_partition_count(topo_desc);
+      parallel.threads = params_.world_threads;
+    }
+  }
+  world_ = std::make_unique<sim::World>(std::move(topo_desc), params_.seed,
+                                        parallel);
   const auto& topo = world_->topology();
 
   // Drifting clocks (servers and clients alike).

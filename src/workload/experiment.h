@@ -90,6 +90,17 @@ struct ExperimentParams {
   std::optional<store::WalParams> wal;
   std::optional<sim::CrashInjector::Params> crashes;
 
+  // Intra-trial parallelism (--world-threads).  0 = the classic serial
+  // engine.  >= 1 opts into the partitioned conservative engine with that
+  // many worker threads; the partition plan is derived from the topology
+  // alone, so the report is byte-identical at every world_threads >= 1 (but
+  // differs from the serial engine's schedule).  Deployments with failure or
+  // crash injection fall back to the serial engine (injectors mutate
+  // cross-partition reachability mid-run) with a note on stderr.
+  std::size_t world_threads = 0;
+  // Partition-count override for tests; 0 = par::default_partition_count.
+  std::size_t world_partitions = 0;
+
   std::uint64_t seed = 42;
   sim::Duration max_sim_time = sim::seconds(3600 * 10);
 };

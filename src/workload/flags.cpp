@@ -36,6 +36,12 @@ const std::vector<FlagHelp>& experiment_flag_help() {
       {"crash-downtime-ms", "mean post-crash downtime in ms (default 2000)"},
       {"deadline-ms", "per-op deadline in ms (default: none)"},
       {"think-ms", "client think time in ms (default 0)"},
+      {"world-threads", "intra-trial parallelism: run each trial on the"
+                        " partitioned engine with N worker threads (default"
+                        " 0 = serial engine; output is identical for every"
+                        " N >= 1)"},
+      {"world-partitions", "partition-count override for the partitioned"
+                           " engine (default 0 = derived from topology)"},
       {"seed", "RNG seed (default 42)"},
       {"object", "single shared object id (default: per-client objects)"},
   };
@@ -184,6 +190,10 @@ std::optional<ExperimentParams> params_from_flags(
   }
   p.think_time = sim::milliseconds(
       static_cast<std::int64_t>(take_num(flags, "think-ms", 0)));
+  p.world_threads =
+      static_cast<std::size_t>(take_num(flags, "world-threads", 0));
+  p.world_partitions =
+      static_cast<std::size_t>(take_num(flags, "world-partitions", 0));
   p.seed = static_cast<std::uint64_t>(take_num(flags, "seed", 42));
   if (flags.count("object") != 0) {
     const auto o = static_cast<std::uint64_t>(take_num(flags, "object", 0));

@@ -1,0 +1,11 @@
+// det-thread escape hatch: justified suppressions are honored only under
+// src/sim/parallel_* (src/run/ needs none -- it is exempt by prefix).
+// Linted under any other path the directives themselves become
+// lint-bad-suppression diagnostics and the violations stand.
+// Lint input only -- never compiled.
+
+// dqlint:allow(det-thread): worker pool for the conservative engine
+#include <thread>
+
+// dqlint:allow(det-thread): round-barrier handshake for the worker pool
+std::mutex pool_mu;

@@ -187,6 +187,27 @@ TEST(DqlintScopes, ThreadRuleExemptsParallelRunner) {
       lint_source("src/run/parallel_runner.h", src, true).diagnostics.empty());
 }
 
+TEST(DqlintScopes, ThreadSuppressionsOnlyHonoredInParallelEngine) {
+  const std::string src = fixture("suppressed_thread.cpp");
+  // Under the sanctioned prefix the justified suppressions hold: the
+  // conservative intra-trial engine owns real threading primitives.
+  const FileReport ok = lint_source("src/sim/parallel_world.cpp", src, true);
+  EXPECT_TRUE(ok.diagnostics.empty())
+      << ok.diagnostics.front().rule << ": " << ok.diagnostics.front().message;
+  EXPECT_EQ(ok.suppressions.size(), 2u);
+  // Anywhere else in det-thread's scope the directive is itself a
+  // diagnostic and the violation stands.
+  const FileReport bad = lint_source("src/sim/world.cpp", src, true);
+  const auto bad_counts = rule_counts(bad);
+  EXPECT_EQ(bad_counts.at("lint-bad-suppression"), 2);
+  EXPECT_EQ(bad_counts.at("det-thread"), 2);
+  EXPECT_TRUE(bad.suppressions.empty());
+  // src/run/ is exempt by prefix, so there is nothing to suppress: the
+  // directives are dead weight and flagged as unused.
+  const FileReport run = lint_source("src/run/pool.cpp", src, true);
+  EXPECT_EQ(rule_counts(run).at("lint-unused-suppression"), 2);
+}
+
 TEST(DqlintScopes, DirectSendScopedToCore) {
   const std::string src = "void f() { world_.send(1); }\n";
   EXPECT_EQ(lint_source("src/core/x.cpp", src, true).diagnostics.size(), 1u);

@@ -4,6 +4,7 @@
 // to the reports the SERIAL simulator produced before the event-core rewrite
 // (the checked-in tests/golden/ files), so the fast path provably changed
 // nothing observable.
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -130,8 +131,12 @@ TEST(ParallelRunner, ReportsMatchPreRewriteGoldenFiles) {
 
 TEST(ParallelRunner, ResolveJobs) {
   EXPECT_EQ(resolve_jobs(1), 1u);
-  EXPECT_EQ(resolve_jobs(5), 5u);
   EXPECT_GE(resolve_jobs(0), 1u);  // hardware concurrency, never zero
+  // Requests above the hardware concurrency clamp to it (with a stderr
+  // note); at or below they are taken as given.
+  const std::size_t hw = resolve_jobs(0);
+  EXPECT_EQ(resolve_jobs(5), std::min<std::size_t>(5, hw));
+  EXPECT_EQ(resolve_jobs(hw + 7), hw);
 }
 
 TEST(ParallelRunner, ParallelForIndexRunsEveryIndexExactlyOnce) {

@@ -1,9 +1,13 @@
 // Unit tests for the discrete-event scheduler: time monotonicity, FIFO tie
-// breaking, cancellation, and deadline semantics.
+// breaking, cancellation, and deadline semantics -- plus the partitioned
+// engine's cross-partition merge order, which extends the FIFO tie-break
+// across schedulers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "sim/parallel_world.h"
 #include "sim/scheduler.h"
 
 namespace dq::sim {
@@ -250,6 +254,75 @@ TEST(Scheduler, PoolRecyclesSlotsUnderChurn) {
   s.run_all();
   EXPECT_GE(s.executed_events(), 10000u);
   EXPECT_LE(s.pool_slots(), 256u);  // one chunk, not 10000 slots
+}
+
+TEST(Scheduler, NextEventTimeTracksEarliestPending) {
+  Scheduler s;
+  EXPECT_EQ(s.next_event_time(), kTimeInfinity);
+  s.schedule_at(30, [] {});
+  TimerToken early = s.schedule_at(10, [] {});
+  EXPECT_EQ(s.next_event_time(), 10);
+  // Cancelling the earliest event must surface the next one, not the stale
+  // lazily-deleted heap entry.
+  early.cancel();
+  EXPECT_EQ(s.next_event_time(), 30);
+  s.run_all();
+  EXPECT_EQ(s.next_event_time(), kTimeInfinity);
+}
+
+TEST(Scheduler, CrossPartitionTiesPopInTimeSeqNodeOrder) {
+  // Two partitions emit mail for the same destination partition at the SAME
+  // deliver time.  Which worker thread parks its outbox first is scheduling
+  // noise; the merge order (deliver_time, global_seq, dst_node) must not
+  // be.  Build the same mail set in two insertion orders (two thread
+  // interleavings), run each through the merge sort + a scheduler, and
+  // demand the identical pop order.
+  auto mail = [](Time at, std::uint32_t src_part, std::uint64_t n,
+                 std::uint32_t dst_node) {
+    return par::Mail{at, (static_cast<std::uint64_t>(src_part) << 40) | n,
+                     Envelope{NodeId(0), NodeId(dst_node), RequestId(0),
+                              msg::DqRead{ObjectId(0)}, false}};
+  };
+  const std::vector<par::Mail> from_p0 = {mail(50, 0, 1, 2), mail(50, 0, 2, 3)};
+  const std::vector<par::Mail> from_p1 = {mail(50, 1, 1, 2), mail(40, 1, 2, 3)};
+
+  auto pop_order = [&](bool p0_first) {
+    std::vector<par::Mail> batch;
+    const auto& a = p0_first ? from_p0 : from_p1;
+    const auto& b = p0_first ? from_p1 : from_p0;
+    batch.insert(batch.end(), a.begin(), a.end());
+    batch.insert(batch.end(), b.begin(), b.end());
+    std::sort(batch.begin(), batch.end(), par::mail_before);
+    Scheduler s;
+    std::vector<std::uint64_t> popped;
+    for (const par::Mail& m : batch) {
+      s.schedule_at(m.deliver_at, [&popped, seq = m.seq] {
+        popped.push_back(seq);
+      });
+    }
+    s.run_all();
+    return popped;
+  };
+
+  const auto order_a = pop_order(true);
+  const auto order_b = pop_order(false);
+  EXPECT_EQ(order_a, order_b);
+  // Time first (the 40 ms mail), then seq: partition 0's mail (high bits 0)
+  // ahead of partition 1's at the shared 50 ms timestamp.
+  const std::vector<std::uint64_t> expected = {
+      (1ULL << 40) | 2, 1, 2, (1ULL << 40) | 1};
+  EXPECT_EQ(order_a, expected);
+}
+
+TEST(Scheduler, NextEventTimeDoesNotPerturbExecution) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(s.next_event_time(), 5);  // peeking must not disturb FIFO ties
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 }  // namespace

@@ -192,5 +192,45 @@ TEST_F(WorldTest, SameSeedSameDeliverySchedule) {
   EXPECT_EQ(run(9), run(9));
 }
 
+TEST(PartitionPlan, CoversEveryNodeExactlyOnce) {
+  Topology::Params p;
+  p.num_servers = 9;
+  p.num_clients = 5;
+  const Topology topo{p};
+  for (std::size_t count : {1u, 2u, 4u, 9u, 16u}) {
+    const par::PartitionPlan plan = par::make_partition_plan(topo, count);
+    EXPECT_EQ(plan.count, std::min<std::size_t>(count, 9));
+    // of_node is total: one partition per node, and nothing else (a node
+    // in two partitions would double-execute; one in none would hang).
+    ASSERT_EQ(plan.of_node.size(), topo.num_nodes());
+    std::vector<std::size_t> population(plan.count, 0);
+    for (std::uint32_t part : plan.of_node) {
+      ASSERT_LT(part, plan.count);
+      ++population[part];
+    }
+    for (std::size_t pop : population) EXPECT_GE(pop, 1u);
+    // A client always lands with its home server (keeps the cheap
+    // client<->home link intra-partition).
+    for (std::size_t c = 0; c < topo.num_clients(); ++c) {
+      const NodeId client = topo.client(c);
+      EXPECT_EQ(plan.of_node[client.value()],
+                plan.of_node[topo.home_of(client).value()]);
+    }
+    // With clients riding their home servers, the cheapest cross-partition
+    // link is server<->server.
+    if (plan.count > 1) {
+      EXPECT_EQ(plan.lookahead, topo.params().server_to_server);
+    }
+  }
+}
+
+TEST(PartitionPlan, DefaultCountDerivesFromTopologyOnly) {
+  Topology::Params p;
+  p.num_servers = 4;
+  EXPECT_EQ(par::default_partition_count(Topology{p}), 4u);
+  p.num_servers = 64;  // capped: round overhead beats tiny queues
+  EXPECT_EQ(par::default_partition_count(Topology{p}), 16u);
+}
+
 }  // namespace
 }  // namespace dq::sim
