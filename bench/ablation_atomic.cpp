@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
   row({"write%", "variant", "read(ms)", "write(ms)", "overall", "msgs/req"},
       12);
   const std::vector<double> writes{0.05, 0.3};
-  const workload::Protocol variants[] = {workload::Protocol::kDqvl,
-                                         workload::Protocol::kDqvlAtomic};
+  const std::string variants[] = {"dqvl",
+                                         "dqvl-atomic"};
   std::vector<workload::ExperimentParams> trials;
   for (double w : writes) {
-    for (workload::Protocol proto : variants) {
+    for (std::string proto : variants) {
       workload::ExperimentParams p;
       p.protocol = proto;
       p.write_ratio = w;
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const auto& r = results[i];
     row({fmt(100 * trials[i].write_ratio, 0),
-         trials[i].protocol == workload::Protocol::kDqvl ? "regular"
+         trials[i].protocol == "dqvl" ? "regular"
                                                          : "atomic",
          fmt(r.read_ms.mean()), fmt(r.write_ms.mean()),
          fmt(r.all_ms.mean()), fmt(r.messages_per_request, 1)},

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::vector<workload::ExperimentParams> trials;
   for (bool grid : {false, true}) {
     workload::ExperimentParams p;
-    p.protocol = workload::Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.iqs = grid ? workload::QuorumSpec::grid(3, 3)
                  : workload::QuorumSpec::majority(9);
     p.write_ratio = 0.3;

@@ -21,7 +21,7 @@ struct Probe {
 Probe probe(sim::Duration lease, bool basic) {
   // Part 1: blocked-write latency.
   workload::ExperimentParams p;
-  p.protocol = basic ? workload::Protocol::kDqBasic : workload::Protocol::kDqvl;
+  p.protocol = basic ? "dq-basic" : "dqvl";
   p.lease_length = lease;
   p.requests_per_client = 0;
   workload::Deployment dep(p);

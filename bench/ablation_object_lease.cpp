@@ -25,7 +25,7 @@ struct Probe {
 
 Probe probe(sim::Duration object_lease) {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.object_lease_length = object_lease;
   p.lease_length = sim::seconds(60);  // volume lease held throughout
   p.write_ratio = 0.3;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   std::vector<workload::ExperimentParams> trials;
   for (std::size_t r : sizes) {
     workload::ExperimentParams p;
-    p.protocol = workload::Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.oqs_read_quorum = r;
     p.write_ratio = 0.2;
     p.requests_per_client = 250;

@@ -18,7 +18,7 @@ struct Probe {
 
 Probe probe(bool prefetch, std::size_t objects) {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.requests_per_client = 0;
   workload::Deployment dep(p);
   auto& w = dep.world();

@@ -16,7 +16,7 @@ namespace {
 
 workload::ExperimentParams renewal_params(bool proactive, bool batch) {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.lease_length = sim::seconds(1);
   p.num_volumes = 16;
   p.proactive_renewal = proactive;

@@ -15,7 +15,7 @@ namespace {
 workload::ExperimentParams suppression_params(bool suppression,
                                               double write_ratio) {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.suppression = suppression;
   p.write_ratio = write_ratio;
   p.requests_per_client = 250;

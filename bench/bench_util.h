@@ -61,7 +61,7 @@ inline std::string fmt_sci(double v) {
 // The paper's section 4.1 response-time setup: 9 edge servers, 3 application
 // clients, 8/86/80 ms RTTs, closed loop.
 inline workload::ExperimentParams response_time_params(
-    workload::Protocol proto, double write_ratio, double locality,
+    std::string proto, double write_ratio, double locality,
     std::uint64_t seed = 42, std::size_t requests = 400) {
   workload::ExperimentParams p;
   p.protocol = proto;
@@ -73,7 +73,7 @@ inline workload::ExperimentParams response_time_params(
 }
 
 inline workload::ExperimentResult response_time_run(
-    workload::Protocol proto, double write_ratio, double locality,
+    std::string proto, double write_ratio, double locality,
     std::uint64_t seed = 42, std::size_t requests = 400) {
   return workload::run_experiment(
       response_time_params(proto, write_ratio, locality, seed, requests));

@@ -17,20 +17,20 @@ int main(int argc, char** argv) {
        "violations"});
   const auto protos = workload::paper_protocols();
   std::vector<workload::ExperimentParams> trials;
-  for (workload::Protocol proto : protos) {
+  for (std::string proto : protos) {
     trials.push_back(response_time_params(proto, 0.05, 1.0));
   }
   const auto results = rep.run_batch(trials);
   double dqvl_read = 0, pb_read = 0, maj_read = 0;
   for (std::size_t i = 0; i < protos.size(); ++i) {
-    const workload::Protocol proto = protos[i];
+    const std::string proto = protos[i];
     const auto& r = results[i];
     row({workload::protocol_name(proto), fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.all_ms.mean()),
          fmt(r.all_ms.p99()), std::to_string(r.violations.size())});
-    if (proto == workload::Protocol::kDqvl) dqvl_read = r.read_ms.mean();
-    if (proto == workload::Protocol::kPrimaryBackup) pb_read = r.read_ms.mean();
-    if (proto == workload::Protocol::kMajority) maj_read = r.read_ms.mean();
+    if (proto == "dqvl") dqvl_read = r.read_ms.mean();
+    if (proto == "pb") pb_read = r.read_ms.mean();
+    if (proto == "majority") maj_read = r.read_ms.mean();
   }
   std::printf("\npaper: DQVL read >= 6x better than primary/backup and "
               "majority\n");

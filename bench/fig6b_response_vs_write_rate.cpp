@@ -35,10 +35,10 @@ int main(int argc, char** argv) {
       const auto proto = protos[pi];
       const auto& r = results[wi * protos.size() + pi];
       cells.push_back(fmt(r.all_ms.mean()));
-      if (w == 1.0 && proto == workload::Protocol::kDqvl) {
+      if (w == 1.0 && proto == "dqvl") {
         dqvl_at_1 = r.all_ms.mean();
       }
-      if (w == 1.0 && proto == workload::Protocol::kMajority) {
+      if (w == 1.0 && proto == "majority") {
         maj_at_1 = r.all_ms.mean();
       }
     }

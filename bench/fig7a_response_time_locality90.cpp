@@ -17,20 +17,20 @@ int main(int argc, char** argv) {
   row({"protocol", "read(ms)", "write(ms)", "overall(ms)", "violations"});
   const auto protos = workload::paper_protocols();
   std::vector<workload::ExperimentParams> trials;
-  for (workload::Protocol proto : protos) {
+  for (std::string proto : protos) {
     trials.push_back(response_time_params(proto, 0.05, 0.9, /*seed=*/19));
   }
   const auto results = rep.run_batch(trials);
   double dqvl = 0, pb = 0, maj = 0;
   for (std::size_t i = 0; i < protos.size(); ++i) {
-    const workload::Protocol proto = protos[i];
+    const std::string proto = protos[i];
     const auto& r = results[i];
     row({workload::protocol_name(proto), fmt(r.read_ms.mean()),
          fmt(r.write_ms.mean()), fmt(r.all_ms.mean()),
          std::to_string(r.violations.size())});
-    if (proto == workload::Protocol::kDqvl) dqvl = r.all_ms.mean();
-    if (proto == workload::Protocol::kPrimaryBackup) pb = r.all_ms.mean();
-    if (proto == workload::Protocol::kMajority) maj = r.all_ms.mean();
+    if (proto == "dqvl") dqvl = r.all_ms.mean();
+    if (proto == "pb") pb = r.all_ms.mean();
+    if (proto == "majority") maj = r.all_ms.mean();
   }
   std::printf("\npaper: at 90%% locality DQVL outperforms both strong "
               "baselines\n");

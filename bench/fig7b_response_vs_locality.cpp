@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
       const auto proto = protos[pi];
       const auto& r = results[li * protos.size() + pi];
       cells.push_back(fmt(r.all_ms.mean()));
-      if (proto == workload::Protocol::kDqvl) dqvl = r.all_ms.mean();
-      if (proto == workload::Protocol::kPrimaryBackup) pb = r.all_ms.mean();
-      if (proto == workload::Protocol::kMajority) maj = r.all_ms.mean();
+      if (proto == "dqvl") dqvl = r.all_ms.mean();
+      if (proto == "pb") pb = r.all_ms.mean();
+      if (proto == "majority") maj = r.all_ms.mean();
     }
     row(cells);
     if (crossover < 0 && dqvl < pb && dqvl < maj) crossover = loc;

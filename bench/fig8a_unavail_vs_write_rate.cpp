@@ -20,7 +20,7 @@ namespace {
 
 // Monte-Carlo cross-check: run the real protocols with failure injection
 // and per-op deadlines; measure the rejected fraction.
-workload::ExperimentParams unavailability_params(workload::Protocol proto,
+workload::ExperimentParams unavailability_params(std::string proto,
                                                  double w, double p_node,
                                                  std::uint64_t seed) {
   workload::ExperimentParams p;
@@ -72,9 +72,9 @@ int main(int argc, char** argv) {
   std::vector<workload::ExperimentParams> trials;
   for (double w : writes) {
     trials.push_back(
-        unavailability_params(workload::Protocol::kDqvl, w, 0.10, 91));
+        unavailability_params("dqvl", w, 0.10, 91));
     trials.push_back(
-        unavailability_params(workload::Protocol::kMajority, w, 0.10, 91));
+        unavailability_params("majority", w, 0.10, 91));
   }
   const auto results = rep.run_batch(trials);
   for (std::size_t wi = 0; wi < writes.size(); ++wi) {

@@ -20,7 +20,7 @@ using namespace dq::bench;
 
 namespace {
 
-workload::ExperimentParams hot_object_params(workload::Protocol proto,
+workload::ExperimentParams hot_object_params(std::string proto,
                                              double w, std::uint64_t seed) {
   workload::ExperimentParams p;
   p.protocol = proto;
@@ -52,12 +52,12 @@ int main(int argc, char** argv) {
               "machinery):\n");
   row({"write%", "DQVL", "majority", "ROWA"});
   const std::vector<double> writes{0.0, 0.25, 0.5, 0.75, 1.0};
-  const workload::Protocol protos[] = {workload::Protocol::kDqvl,
-                                       workload::Protocol::kMajority,
-                                       workload::Protocol::kRowa};
+  const std::string protos[] = {"dqvl",
+                                       "majority",
+                                       "rowa"};
   std::vector<workload::ExperimentParams> trials;
   for (double w : writes) {
-    for (workload::Protocol proto : protos) {
+    for (std::string proto : protos) {
       trials.push_back(hot_object_params(proto, w, 57));
     }
   }

@@ -17,7 +17,7 @@ namespace {
 workload::ExperimentParams sized_params(std::size_t servers, double w,
                                         std::uint64_t seed) {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.topo.num_servers = servers;
   p.iqs = workload::QuorumSpec::majority(5);
   p.write_ratio = w;

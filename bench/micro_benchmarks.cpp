@@ -113,7 +113,7 @@ BENCHMARK(BM_ExactAvailabilityEnumeration15);
 void BM_DqvlEndToEndOps(benchmark::State& state) {
   for (auto _ : state) {
     workload::ExperimentParams p;
-    p.protocol = workload::Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.requests_per_client = 100;
     p.write_ratio = 0.2;
     p.seed = 3;
@@ -131,7 +131,7 @@ void BM_ParallelTrialSuite(benchmark::State& state) {
   std::vector<workload::ExperimentParams> trials;
   for (std::uint64_t seed : {7u, 11u, 23u, 42u}) {
     workload::ExperimentParams p;
-    p.protocol = workload::Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.requests_per_client = 100;
     p.write_ratio = 0.2;
     p.seed = seed;
@@ -150,7 +150,7 @@ BENCHMARK(BM_ParallelTrialSuite)->Arg(1)->Arg(2)->Arg(4)
 void BM_MajorityEndToEndOps(benchmark::State& state) {
   for (auto _ : state) {
     workload::ExperimentParams p;
-    p.protocol = workload::Protocol::kMajority;
+    p.protocol = "majority";
     p.requests_per_client = 100;
     p.write_ratio = 0.2;
     p.seed = 3;

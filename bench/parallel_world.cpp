@@ -36,7 +36,7 @@ double wall_ms() {
 
 workload::ExperimentParams big_trial() {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.topo.num_servers = 64;
   p.topo.num_clients = 32;
   p.topo.jitter = 0.1;

@@ -63,7 +63,7 @@ double scheduler_events_per_sec(bool cancel_half) {
 std::vector<workload::ExperimentParams> suite() {
   std::vector<workload::ExperimentParams> trials;
   for (auto proto :
-       {workload::Protocol::kDqvl, workload::Protocol::kMajority}) {
+       {"dqvl", "majority"}) {
     for (std::uint64_t seed : {7u, 11u, 23u, 42u}) {
       workload::ExperimentParams p;
       p.protocol = proto;

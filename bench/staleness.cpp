@@ -1,0 +1,92 @@
+// Staleness as a first-class metric: age-of-information of reads, per
+// protocol, under one contended lossy workload (docs/PROTOCOL.md §§7-8).
+//
+// Every trial shares the paper's edge topology plus 2% message loss and
+// delay jitter, all clients hammering a handful of shared objects, with
+// --staleness post-hoc scoring enabled: a read is stale when some write
+// with a higher version committed before the read was invoked, and its
+// age is how long the returned version had already been superseded when
+// the read began.
+//
+// The table is the figure: strongly consistent protocols (DQVL with
+// volume leases, Hermes invalidation, majority quorums) must sit at zero
+// stale reads, while the eventual protocols (Dynamo sloppy quorums,
+// ROWA-Async anti-entropy) trade staleness for latency.  The bench
+// self-checks the half of that claim the paper stakes out: DQVL must
+// report zero regular-semantics violations AND zero stale reads, or the
+// bench exits nonzero before the numbers reach EXPERIMENTS.md.
+#include "bench_util.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+namespace {
+
+workload::ExperimentParams staleness_params(const std::string& proto) {
+  workload::ExperimentParams p;
+  p.protocol = proto;
+  p.write_ratio = 0.2;
+  p.locality = 0.9;
+  p.requests_per_client = 200;
+  // Contended: every client touches the same 4 objects.
+  p.choose_object = [](Rng& rng) { return ObjectId(rng.below(4)); };
+  p.loss = 0.02;
+  p.topo.jitter = 0.1;
+  p.staleness = true;
+  p.seed = 29;
+  return p;
+}
+
+double hist_mean(const workload::ExperimentResult& r, const char* name) {
+  const obs::HistogramData* h = r.metrics.histogram(name);
+  return h == nullptr ? 0.0 : h->mean();
+}
+
+double hist_max(const workload::ExperimentResult& r, const char* name) {
+  const obs::HistogramData* h = r.metrics.histogram(name);
+  return h == nullptr ? 0.0 : h->max;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reporter rep("staleness", argc, argv);
+  header("Staleness", "read age-of-information per protocol, shared objects, "
+                      "2% loss");
+  row({"protocol", "reads", "stale", "stale%", "age.mean(ms)", "age.max(ms)",
+       "read(ms)"});
+
+  const char* protos[] = {"dqvl", "hermes", "majority", "dynamo", "rowa-async"};
+  std::vector<workload::ExperimentParams> trials;
+  for (const char* proto : protos) trials.push_back(staleness_params(proto));
+  const auto results = rep.run_batch(trials);
+
+  bool ok = true;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& r = results[i];
+    const std::uint64_t reads = r.metrics.counter("staleness.reads");
+    const std::uint64_t stale = r.metrics.counter("staleness.stale_reads");
+    const double pct = reads == 0 ? 0.0 : 100.0 * double(stale) / double(reads);
+    row({workload::protocol_name(trials[i].protocol), std::to_string(reads),
+         std::to_string(stale), fmt(pct, 1),
+         fmt(hist_mean(r, "staleness.read_age_ms")),
+         fmt(hist_max(r, "staleness.read_age_ms")), fmt(r.read_ms.mean())});
+
+    if (trials[i].protocol == "dqvl") {
+      if (!r.violations.empty()) {
+        std::fprintf(stderr, "FAIL: DQVL reported %zu regular-semantics "
+                             "violations\n", r.violations.size());
+        ok = false;
+      }
+      if (stale != 0) {
+        std::fprintf(stderr, "FAIL: DQVL served %llu stale reads\n",
+                     static_cast<unsigned long long>(stale));
+        ok = false;
+      }
+    }
+  }
+
+  std::printf("\nDQVL control: %s (zero violations, zero stale reads)\n",
+              ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -27,7 +27,7 @@ namespace {
 
 workload::ExperimentParams wal_params(std::optional<store::SyncPolicy> policy) {
   workload::ExperimentParams p;
-  p.protocol = workload::Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.3;
   p.locality = 0.85;
   p.requests_per_client = 250;

@@ -15,7 +15,7 @@ using namespace dq::bench;
 
 namespace {
 
-workload::ExperimentParams bursty_params(workload::Protocol proto,
+workload::ExperimentParams bursty_params(std::string proto,
                                          double burstiness) {
   workload::ExperimentParams p;
   p.protocol = proto;
@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   const std::vector<double> bursts{0.0, 0.3, 0.6, 0.8, 0.9, 0.95};
   std::vector<workload::ExperimentParams> trials;
   for (double b : bursts) {
-    trials.push_back(bursty_params(workload::Protocol::kDqvl, b));
-    trials.push_back(bursty_params(workload::Protocol::kMajority, b));
+    trials.push_back(bursty_params("dqvl", b));
+    trials.push_back(bursty_params("majority", b));
   }
   const auto results =
       run::run_experiments(trials, jobs_from_argv(argc, argv));

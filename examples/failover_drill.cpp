@@ -23,7 +23,7 @@ using namespace dq::workload;
 namespace {
 
 struct Drill {
-  explicit Drill(Protocol proto, sim::Duration lease) {
+  explicit Drill(std::string proto, sim::Duration lease) {
     ExperimentParams p;
     p.protocol = proto;
     p.lease_length = lease;
@@ -52,7 +52,7 @@ struct Drill {
   std::unique_ptr<protocols::DqServiceClient> reader, writer;
 };
 
-void run_drill(Protocol proto, const char* label) {
+void run_drill(std::string proto, const char* label) {
   const sim::Duration lease = sim::seconds(3);
   Drill d(proto, lease);
   auto& w = d.dep->world();
@@ -120,8 +120,8 @@ void run_drill(Protocol proto, const char* label) {
 int main() {
   std::printf("== failover drill: bounded write blocking via volume "
               "leases ==\n\n");
-  run_drill(Protocol::kDqvl, "DQVL (3 s volume leases)");
-  run_drill(Protocol::kDqBasic, "basic dual quorum (no leases)");
+  run_drill("dqvl", "DQVL (3 s volume leases)");
+  run_drill("dq-basic", "basic dual quorum (no leases)");
   std::printf("with leases, a write blocked by an unreachable reader "
               "completes within ~L;\nwithout them it waits for the reader "
               "-- the paper's core availability argument.\n");

@@ -28,7 +28,7 @@ int main() {
     std::printf("== %s ==\n", prof.name);
     std::printf("%-16s %10s %10s %10s %10s %6s\n", "protocol", "read ms",
                 "write ms", "overall", "msgs/req", "regular");
-    for (Protocol proto : paper_protocols()) {
+    for (std::string proto : paper_protocols()) {
       ExperimentParams p;
       p.protocol = proto;
       p.write_ratio = prof.write_ratio;

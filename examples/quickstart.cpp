@@ -14,7 +14,7 @@ int main() {
   // A deployment is a simulated edge network: 9 edge servers, paper delays
   // (8 ms client<->home RTT, 86 ms client<->remote, 80 ms server<->server).
   workload::ExperimentParams params;
-  params.protocol = workload::Protocol::kDqvl;
+  params.protocol = "dqvl";
   params.requests_per_client = 0;  // we drive operations ourselves
   workload::Deployment dep(params);
   sim::World& world = dep.world();

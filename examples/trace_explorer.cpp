@@ -16,7 +16,7 @@ using namespace dq::workload;
 
 int main() {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.lease_length = sim::seconds(2);
   p.requests_per_client = 0;
   Deployment dep(p);

@@ -73,6 +73,27 @@ struct NameOf {
   const char* operator()(const GossipUpdate&) const { return "GossipUpdate"; }
   const char* operator()(const AeDigest&) const { return "AeDigest"; }
   const char* operator()(const AeUpdates&) const { return "AeUpdates"; }
+  const char* operator()(const HermesWrite&) const { return "HermesWrite"; }
+  const char* operator()(const HermesWriteAck&) const {
+    return "HermesWriteAck";
+  }
+  const char* operator()(const HermesRead&) const { return "HermesRead"; }
+  const char* operator()(const HermesReadReply&) const {
+    return "HermesReadReply";
+  }
+  const char* operator()(const HermesInv&) const { return "HermesInv"; }
+  const char* operator()(const HermesInvAck&) const { return "HermesInvAck"; }
+  const char* operator()(const HermesVal&) const { return "HermesVal"; }
+  const char* operator()(const HermesValAck&) const { return "HermesValAck"; }
+  const char* operator()(const DynRead&) const { return "DynRead"; }
+  const char* operator()(const DynReadReply&) const { return "DynReadReply"; }
+  const char* operator()(const DynWrite&) const { return "DynWrite"; }
+  const char* operator()(const DynWriteAck&) const { return "DynWriteAck"; }
+  const char* operator()(const DynHandoff&) const { return "DynHandoff"; }
+  const char* operator()(const DynHandoffAck&) const {
+    return "DynHandoffAck";
+  }
+  const char* operator()(const DynRepair&) const { return "DynRepair"; }
 };
 
 }  // namespace
@@ -117,7 +138,14 @@ bool is_server_to_server(const Payload& p) {
                std::is_same_v<T, DqInval> || std::is_same_v<T, DqInvalAck> ||
                std::is_same_v<T, PbSync> || std::is_same_v<T, PbSyncAck> ||
                std::is_same_v<T, GossipUpdate> ||
-               std::is_same_v<T, AeDigest> || std::is_same_v<T, AeUpdates>;
+               std::is_same_v<T, AeDigest> || std::is_same_v<T, AeUpdates> ||
+               std::is_same_v<T, HermesInv> ||
+               std::is_same_v<T, HermesInvAck> ||
+               std::is_same_v<T, HermesVal> ||
+               std::is_same_v<T, HermesValAck> ||
+               std::is_same_v<T, DynHandoff> ||
+               std::is_same_v<T, DynHandoffAck> ||
+               std::is_same_v<T, DynRepair>;
       },
       p);
 }
@@ -265,6 +293,47 @@ struct SizeOf {
       total += kId + kClock + u.value.size();
     }
     return sized(total);
+  }
+  std::size_t operator()(const HermesWrite& m) const {
+    return sized(kId + m.value.size());
+  }
+  std::size_t operator()(const HermesWriteAck&) const {
+    return sized(kId + kClock);
+  }
+  std::size_t operator()(const HermesRead&) const { return sized(kId); }
+  std::size_t operator()(const HermesReadReply& m) const {
+    return sized(kId + kClock + m.value.size());
+  }
+  std::size_t operator()(const HermesInv& m) const {
+    return sized(kId + kClock + kTime + m.value.size());
+  }
+  std::size_t operator()(const HermesInvAck&) const {
+    return sized(kId + kClock);
+  }
+  std::size_t operator()(const HermesVal&) const {
+    return sized(kId + kClock + kTime);
+  }
+  std::size_t operator()(const HermesValAck&) const {
+    return sized(kId + kClock);
+  }
+  std::size_t operator()(const DynRead&) const { return sized(kId); }
+  std::size_t operator()(const DynReadReply& m) const {
+    return sized(kId + kClock + m.value.size());
+  }
+  std::size_t operator()(const DynWrite& m) const {
+    return sized(kId + kClock + 4 + m.value.size());
+  }
+  std::size_t operator()(const DynWriteAck&) const {
+    return sized(kId + kClock);
+  }
+  std::size_t operator()(const DynHandoff& m) const {
+    return sized(kId + kClock + m.value.size());
+  }
+  std::size_t operator()(const DynHandoffAck&) const {
+    return sized(kId + kClock);
+  }
+  std::size_t operator()(const DynRepair& m) const {
+    return sized(kId + kClock + m.value.size());
   }
 };
 

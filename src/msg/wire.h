@@ -308,6 +308,101 @@ struct AeUpdates {
 };
 
 // ---------------------------------------------------------------------------
+// Hermes -- invalidation-based broadcast (Katsarakis-style baseline).  A
+// write coordinator INValidates every replica, waits for acks from ALL of
+// them, then commits locally and VALidates the others; reads are local and
+// served only while the local copy is valid.  Per-key logical timestamps
+// order concurrent writes; `epoch` fences replays across recoveries.
+// ---------------------------------------------------------------------------
+
+struct HermesWrite {
+  ObjectId object;
+  Value value;
+};
+struct HermesWriteAck {
+  ObjectId object;
+  LogicalClock clock;
+};
+struct HermesRead {
+  ObjectId object;
+};
+struct HermesReadReply {
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+};
+// Coordinator -> replica: "object o is being overwritten at timestamp lc;
+// stop serving your copy until the matching VAL arrives".
+struct HermesInv {
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+  Epoch epoch = 0;
+};
+struct HermesInvAck {
+  ObjectId object;
+  LogicalClock clock;
+};
+// Coordinator -> replica: the write at lc committed; local reads may resume.
+struct HermesVal {
+  ObjectId object;
+  LogicalClock clock;
+  Epoch epoch = 0;
+};
+struct HermesValAck {
+  ObjectId object;
+  LogicalClock clock;
+};
+
+// ---------------------------------------------------------------------------
+// Dynamo -- sloppy quorum with hinted handoff and read-repair (baseline).
+// The client walks the ring's preference list, accepts the first N healthy
+// nodes, and completes a write at W acks / a read at R replies.  A write
+// accepted on behalf of an unreachable home node carries `hint_for`; the
+// holder hands the value off when the home node answers again.  Read-repair
+// pushes the freshest version to stale responders after a read completes.
+// ---------------------------------------------------------------------------
+
+// Sentinel for DynWrite::hint_for: the write landed on its home replica.
+inline constexpr std::uint32_t kNoHint = 0xffffffff;
+
+struct DynRead {
+  ObjectId object;
+};
+struct DynReadReply {
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+};
+struct DynWrite {
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+  std::uint32_t hint_for = kNoHint;  // home replica index, kNoHint if none
+};
+struct DynWriteAck {
+  ObjectId object;
+  LogicalClock clock;
+};
+// Hint holder -> home replica: deliver a write accepted on its behalf.
+struct DynHandoff {
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+};
+struct DynHandoffAck {
+  ObjectId object;
+  LogicalClock clock;
+};
+// Client -> stale replica after a read: read-repair push of the freshest
+// version observed among the read replies.
+struct DynRepair {
+  ObjectId object;
+  Value value;
+  LogicalClock clock;
+};
+
+// ---------------------------------------------------------------------------
 // The payload variant and per-type bookkeeping.
 // ---------------------------------------------------------------------------
 
@@ -327,7 +422,13 @@ using Payload = std::variant<
     RowaRead, RowaReadReply, RowaWrite, RowaWriteAck,
     // ROWA-Async
     AsyncRead, AsyncReadReply, AsyncWrite, AsyncWriteAck, GossipUpdate,
-    AeDigest, AeUpdates>;
+    AeDigest, AeUpdates,
+    // Hermes
+    HermesWrite, HermesWriteAck, HermesRead, HermesReadReply, HermesInv,
+    HermesInvAck, HermesVal, HermesValAck,
+    // Dynamo
+    DynRead, DynReadReply, DynWrite, DynWriteAck, DynHandoff, DynHandoffAck,
+    DynRepair>;
 
 // Number of alternatives in Payload (for dense per-type accounting arrays).
 [[nodiscard]] constexpr std::size_t payload_type_count() {

@@ -1,0 +1,43 @@
+#include "protocols/registry.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dq::protocols {
+
+const char* to_string(ConsistencyClass c) {
+  switch (c) {
+    case ConsistencyClass::kAtomic: return "atomic";
+    case ConsistencyClass::kRegular: return "regular";
+    case ConsistencyClass::kEventual: return "eventual";
+  }
+  return "?";
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(ProtocolInfo info) {
+  DQ_INVARIANT(!info.name.empty(), "protocol name must be non-empty");
+  DQ_INVARIANT(info.build != nullptr, "protocol factory must be set");
+  const auto [it, inserted] = by_name_.emplace(info.name, std::move(info));
+  (void)it;
+  DQ_INVARIANT(inserted, "duplicate protocol registration");
+}
+
+const ProtocolInfo* Registry::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ProtocolInfo*> Registry::list() const {
+  std::vector<const ProtocolInfo*> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, info] : by_name_) out.push_back(&info);
+  return out;
+}
+
+}  // namespace dq::protocols

@@ -1,0 +1,71 @@
+// Self-registering protocol registry.
+//
+// Each protocol is described by a ProtocolInfo: the CLI name, the display
+// name used in dq.report.v1, a capability descriptor, and a factory that
+// wires the protocol into a workload::Deployment.  Adding a protocol is a
+// single Registry::add() call -- no enum edits, no switch edits, no flag-map
+// edits (the closed Protocol enum this replaces required all three).
+//
+// The builtin protocols are registered from src/workload/wiring.cpp (a
+// translation unit that is always linked, so static-library dead-stripping
+// cannot drop the registrations); tests and examples may add more.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dq::workload {
+class Deployment;
+}
+
+namespace dq::protocols {
+
+// Strongest single-register guarantee the protocol provides under the
+// experiment fault model (message loss, partitions, crashes).
+enum class ConsistencyClass : std::uint8_t {
+  kAtomic,    // linearizable (passes History::check_atomic)
+  kRegular,   // Lamport-regular (passes History::check_regular)
+  kEventual,  // stale reads allowed; checker violations expected
+};
+
+[[nodiscard]] const char* to_string(ConsistencyClass c);
+
+struct Capability {
+  // Servers honor ExperimentParams::wal (acks gated on record durability).
+  bool supports_wal = false;
+  // Servers implement crash hooks with state recovery on restart.
+  bool supports_crash_recovery = false;
+  ConsistencyClass consistency_class = ConsistencyClass::kEventual;
+};
+
+struct ProtocolInfo {
+  std::string name;          // CLI spelling, e.g. "dqvl"
+  std::string display_name;  // report spelling, e.g. "DQVL"
+  Capability caps;
+  // Wire servers, service clients, and app clients into the deployment.
+  std::function<void(workload::Deployment&)> build;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Registers `info`; trips an invariant on a duplicate name.
+  void add(ProtocolInfo info);
+
+  // nullptr when no protocol has that name.  The returned pointer is stable
+  // for the life of the process (node-based storage underneath).
+  [[nodiscard]] const ProtocolInfo* find(const std::string& name) const;
+
+  // All registered protocols, sorted by name.
+  [[nodiscard]] std::vector<const ProtocolInfo*> list() const;
+
+ private:
+  Registry() = default;
+  std::map<std::string, ProtocolInfo> by_name_;
+};
+
+}  // namespace dq::protocols

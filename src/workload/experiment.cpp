@@ -5,31 +5,24 @@
 #include <utility>
 
 #include "common/assert.h"
-#include "protocols/dq_adapter.h"
-#include "quorum/quorum.h"
+#include "obs/staleness.h"
 
 namespace dq::workload {
 
-const char* protocol_name(Protocol p) {
-  switch (p) {
-    case Protocol::kDqvl: return "DQVL";
-    case Protocol::kDqvlAtomic: return "DQVL-atomic";
-    case Protocol::kDqBasic: return "DQ-basic";
-    case Protocol::kMajority: return "majority";
-    case Protocol::kPrimaryBackup: return "primary/backup";
-    case Protocol::kPrimaryBackupSync: return "primary/backup-sync";
-    case Protocol::kRowa: return "ROWA";
-    case Protocol::kRowaAsync: return "ROWA-Async";
-  }
-  return "?";
+const char* protocol_name(const std::string& name) {
+  const protocols::ProtocolInfo* info = find_protocol(name);
+  return info == nullptr ? "?" : info->display_name.c_str();
 }
 
-std::vector<Protocol> paper_protocols() {
-  return {Protocol::kDqvl, Protocol::kPrimaryBackup, Protocol::kMajority,
-          Protocol::kRowa, Protocol::kRowaAsync};
+std::vector<std::string> paper_protocols() {
+  return {"dqvl", "pb", "majority", "rowa", "rowa-async"};
 }
 
 Deployment::Deployment(const ExperimentParams& params) : params_(params) {
+  const protocols::ProtocolInfo* info = find_protocol(params_.protocol);
+  DQ_INVARIANT(info != nullptr,
+               "unknown protocol (run with --protocol=help for the list)");
+
   sim::Topology topo_desc(params_.topo);
   sim::World::Parallelism parallel;
   if (params_.world_threads >= 1) {
@@ -71,28 +64,7 @@ Deployment::Deployment(const ExperimentParams& params) : params_(params) {
     servers_.push_back(std::move(node));
   }
 
-  switch (params_.protocol) {
-    case Protocol::kDqvl:
-    case Protocol::kDqvlAtomic:
-    case Protocol::kDqBasic:
-      build_dqvl();
-      break;
-    case Protocol::kMajority:
-      build_majority();
-      break;
-    case Protocol::kPrimaryBackup:
-      build_primary_backup(protocols::PbMode::kAsyncPropagation);
-      break;
-    case Protocol::kPrimaryBackupSync:
-      build_primary_backup(protocols::PbMode::kSyncPropagation);
-      break;
-    case Protocol::kRowa:
-      build_rowa();
-      break;
-    case Protocol::kRowaAsync:
-      build_rowa_async();
-      break;
-  }
+  info->build(*this);
 
   if (params_.failures) {
     injector_ = std::make_unique<sim::FailureInjector>(*world_,
@@ -136,206 +108,40 @@ AppClient::Params Deployment::client_params() const {
 }
 
 // ---------------------------------------------------------------------------
-// Protocol wiring
+// Wiring helpers (used by the protocol factories in workload/wiring.cpp)
 // ---------------------------------------------------------------------------
 
-void Deployment::build_dqvl() {
-  const auto& topo = world_->topology();
-  const QuorumSpec& spec = params_.iqs;
-  DQ_INVARIANT(spec.size() >= 1 && spec.size() <= topo.num_servers(),
-               "IQS spec size out of range");
-
-  std::vector<NodeId> all = topo.servers();
-  std::vector<NodeId> iqs_members(
-      all.begin(), all.begin() + static_cast<std::ptrdiff_t>(spec.size()));
-  auto cfg = std::make_shared<core::DqConfig>(core::DqConfig::headline(
-      all, iqs_members,
-      params_.protocol == Protocol::kDqBasic ? sim::kTimeInfinity
-                                             : params_.lease_length));
-  cfg->iqs = spec.build(iqs_members);
-  if (params_.oqs_read_quorum > 1) {
-    // |orq| = r implies |owq| = n - r + 1 for intersection.
-    const std::size_t n = all.size();
-    DQ_INVARIANT(params_.oqs_read_quorum <= n, "oqs_read_quorum too large");
-    cfg->oqs = std::make_shared<quorum::ThresholdQuorum>(
-        all, params_.oqs_read_quorum, n - params_.oqs_read_quorum + 1);
-  }
-  cfg->object_lease_length = params_.object_lease_length;
-  cfg->volumes = store::VolumeMap(params_.num_volumes);
-  cfg->max_delayed_per_volume = params_.max_delayed_per_volume;
-  cfg->max_drift = params_.max_drift;
-  cfg->suppression_enabled = params_.suppression;
-  cfg->proactive_volume_renewal = params_.proactive_renewal;
-  cfg->batch_volume_renewals = params_.batch_renewals;
-  cfg->rpc = rpc_options();
-  cfg->wal = params_.wal;
-  dq_cfg_ = cfg;
-
-  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    const NodeId n = topo.server(i);
-    EdgeNode& node = *servers_[i];
-
-    // Front end (service client) -- must see replies first.
-    std::shared_ptr<protocols::ServiceClient> sc;
-    if (params_.protocol == Protocol::kDqvlAtomic) {
-      sc = std::make_shared<protocols::DqAtomicServiceClient>(*world_, n,
-                                                              dq_cfg_);
-    } else {
-      sc = std::make_shared<protocols::DqServiceClient>(*world_, n, dq_cfg_);
-    }
-    auto fe = std::make_unique<FrontEnd>(*world_, n, sc);
-    FrontEnd* fe_raw = fe.get();
-    node.add_handler([fe_raw](const sim::Envelope& e) {
-      return fe_raw->on_message(e);
-    });
-    node.add_crash_hook([fe_raw] { fe_raw->on_crash(); });
-    front_ends_.push_back(std::move(fe));
-
-    // OQS member (every server).
-    auto oqs = std::make_unique<core::OqsServer>(*world_, n, dq_cfg_);
-    core::OqsServer* oqs_raw = oqs.get();
-    node.add_handler([oqs_raw](const sim::Envelope& e) {
-      return oqs_raw->on_message(e);
-    });
-    node.add_crash_hook([oqs_raw] { oqs_raw->on_crash(); },
-                        [oqs_raw] { oqs_raw->on_recover(); });
-    oqs_.emplace(n.value(), std::move(oqs));
-
-    // IQS member (first iqs_size servers).
-    if (dq_cfg_->iqs->is_member(n)) {
-      auto iqs = std::make_unique<core::IqsServer>(*world_, n, dq_cfg_);
-      core::IqsServer* iqs_raw = iqs.get();
-      node.add_handler([iqs_raw](const sim::Envelope& e) {
-        return iqs_raw->on_message(e);
-      });
-      node.add_crash_hook([iqs_raw] { iqs_raw->on_crash(); },
-                          [iqs_raw] { iqs_raw->on_recover(); });
-      iqs_.emplace(n.value(), std::move(iqs));
-    }
-  }
-  build_clients_via_front_end();
+void Deployment::install_front_end(std::size_t server_index,
+                                   std::shared_ptr<protocols::ServiceClient>
+                                       sc) {
+  const NodeId n = world_->topology().server(server_index);
+  auto fe = std::make_unique<FrontEnd>(*world_, n, std::move(sc));
+  FrontEnd* fe_raw = fe.get();
+  EdgeNode& node = *servers_.at(server_index);
+  node.add_handler([fe_raw](const sim::Envelope& e) {
+    return fe_raw->on_message(e);
+  });
+  node.add_crash_hook([fe_raw] { fe_raw->on_crash(); });
+  front_ends_.push_back(std::move(fe));
 }
 
-void Deployment::build_majority() {
-  const auto& topo = world_->topology();
-  auto system = std::shared_ptr<const quorum::QuorumSystem>(
-      quorum::ThresholdQuorum::majority(topo.servers()));
-  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    auto srv = std::make_unique<protocols::MajorityServer>(
-        *world_, topo.server(i), params_.wal);
-    protocols::MajorityServer* raw = srv.get();
-    servers_[i]->add_handler([raw](const sim::Envelope& e) {
-      return raw->on_message(e);
-    });
-    servers_[i]->add_crash_hook([raw] { raw->on_crash(); },
-                                [raw] { raw->on_recover(); });
-    maj_servers_.push_back(std::move(srv));
-  }
-  // Direct-access clients (the paper's majority latency is insensitive to
-  // edge locality).
-  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
-    const NodeId cn = topo.client(c);
-    auto sc = std::make_shared<protocols::MajorityClient>(*world_, cn, system,
-                                                          rpc_options());
-    auto client = std::make_unique<AppClient>(client_params(), sc);
-    world_->attach(cn, *client);
-    clients_.push_back(std::move(client));
-  }
-}
-
-void Deployment::build_primary_backup(protocols::PbMode mode) {
-  const auto& topo = world_->topology();
-  auto cfg = std::make_shared<protocols::PbConfig>();
-  // Primary on the last server: with the default client homes (0, 1, 2, ...)
-  // no client is colocated with the primary, matching the paper's setting
-  // where the primary is a WAN hop away.
-  cfg->primary = topo.server(topo.num_servers() - 1);
-  cfg->replicas = topo.servers();
-  cfg->mode = mode;
-  cfg->rpc = rpc_options();
-  cfg->wal = params_.wal;
-  pb_cfg_ = cfg;
-
-  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    auto srv = std::make_unique<protocols::PbServer>(*world_, topo.server(i),
-                                                     pb_cfg_);
-    protocols::PbServer* raw = srv.get();
-    servers_[i]->add_handler([raw](const sim::Envelope& e) {
-      return raw->on_message(e);
-    });
-    servers_[i]->add_crash_hook([raw] { raw->on_crash(); },
-                                [raw] { raw->on_recover(); });
-    pb_servers_.push_back(std::move(srv));
-  }
-  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
-    const NodeId cn = topo.client(c);
-    auto sc = std::make_shared<protocols::PbClient>(*world_, cn, pb_cfg_);
-    auto client = std::make_unique<AppClient>(client_params(), sc);
-    world_->attach(cn, *client);
-    clients_.push_back(std::move(client));
-  }
-}
-
-void Deployment::build_rowa() {
-  const auto& topo = world_->topology();
-  auto system = std::shared_ptr<const quorum::QuorumSystem>(
-      quorum::ThresholdQuorum::rowa(topo.servers()));
-  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    auto srv = std::make_unique<protocols::RowaServer>(*world_,
-                                                       topo.server(i));
-    rowa_servers_.push_back(std::move(srv));
-  }
-  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    const NodeId n = topo.server(i);
-    auto sc = std::make_shared<protocols::RowaClient>(
-        *world_, n, system, rowa_servers_[i].get(), rpc_options());
-    auto fe = std::make_unique<FrontEnd>(*world_, n, sc);
-    FrontEnd* fe_raw = fe.get();
-    protocols::RowaServer* srv_raw = rowa_servers_[i].get();
-    servers_[i]->add_handler([fe_raw](const sim::Envelope& e) {
-      return fe_raw->on_message(e);
-    });
-    servers_[i]->add_handler([srv_raw](const sim::Envelope& e) {
-      return srv_raw->on_message(e);
-    });
-    front_ends_.push_back(std::move(fe));
-  }
-  build_clients_via_front_end();
-}
-
-void Deployment::build_rowa_async() {
-  const auto& topo = world_->topology();
-  auto cfg = std::make_shared<protocols::RowaAsyncConfig>();
-  cfg->replicas = topo.servers();
-  cfg->rpc = rpc_options();
-  async_cfg_ = cfg;
-  for (std::size_t i = 0; i < topo.num_servers(); ++i) {
-    const NodeId n = topo.server(i);
-    auto srv = std::make_unique<protocols::RowaAsyncServer>(*world_, n,
-                                                            async_cfg_);
-    auto sc = std::make_shared<protocols::RowaAsyncClient>(*world_, n, n,
-                                                           rpc_options());
-    auto fe = std::make_unique<FrontEnd>(*world_, n, sc);
-    FrontEnd* fe_raw = fe.get();
-    protocols::RowaAsyncServer* srv_raw = srv.get();
-    servers_[i]->add_handler([fe_raw](const sim::Envelope& e) {
-      return fe_raw->on_message(e);
-    });
-    servers_[i]->add_handler([srv_raw](const sim::Envelope& e) {
-      return srv_raw->on_message(e);
-    });
-    srv->start_anti_entropy();
-    async_servers_.push_back(std::move(srv));
-    front_ends_.push_back(std::move(fe));
-  }
-  build_clients_via_front_end();
-}
-
-void Deployment::build_clients_via_front_end() {
+void Deployment::install_app_clients() {
   const auto& topo = world_->topology();
   for (std::size_t c = 0; c < topo.num_clients(); ++c) {
     const NodeId cn = topo.client(c);
     auto client = std::make_unique<AppClient>(client_params());
+    world_->attach(cn, *client);
+    clients_.push_back(std::move(client));
+  }
+}
+
+void Deployment::install_direct_clients(
+    const std::function<std::shared_ptr<protocols::ServiceClient>(NodeId)>&
+        make) {
+  const auto& topo = world_->topology();
+  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
+    const NodeId cn = topo.client(c);
+    auto client = std::make_unique<AppClient>(client_params(), make(cn));
     world_->attach(cn, *client);
     clients_.push_back(std::move(client));
   }
@@ -395,18 +201,42 @@ ExperimentResult Deployment::collect() {
   }
   r.violations = r.history.check_regular();
   r.sim_duration = world_->now();
+  if (params_.staleness) {
+    // Post-hoc age-of-information over the merged history: a pure
+    // computation, so it is byte-identical at any --jobs/--world-threads
+    // and perturbs nothing (the run is already over).
+    obs::StalenessTracker tracker;
+    for (const OpRecord& op : r.history.ops()) {
+      if (op.ok && op.kind == msg::OpKind::kWrite) {
+        tracker.add_write(op.object.value(), op.completed, op.clock);
+      }
+    }
+    tracker.seal();
+    obs::Histogram& age_hist =
+        world_->metrics().histogram("staleness.read_age_ms");
+    obs::Counter& reads = world_->metrics().counter("staleness.reads");
+    obs::Counter& stale = world_->metrics().counter("staleness.stale_reads");
+    for (const OpRecord& op : r.history.ops()) {
+      if (!op.ok || op.kind != msg::OpKind::kRead) continue;
+      const std::int64_t age =
+          tracker.read_age(op.object.value(), op.invoked, op.clock);
+      age_hist.observe(sim::to_ms(age));
+      reads.inc();
+      if (age > 0) stale.inc();
+    }
+  }
   r.metrics = world_->metrics().snapshot();
   return r;
 }
 
 core::IqsServer* Deployment::iqs_server(NodeId n) {
-  auto it = iqs_.find(n.value());
-  return it == iqs_.end() ? nullptr : it->second.get();
+  auto it = dqvl_.iqs.find(n.value());
+  return it == dqvl_.iqs.end() ? nullptr : it->second.get();
 }
 
 core::OqsServer* Deployment::oqs_server(NodeId n) {
-  auto it = oqs_.find(n.value());
-  return it == oqs_.end() ? nullptr : it->second.get();
+  auto it = dqvl_.oqs.find(n.value());
+  return it == dqvl_.oqs.end() ? nullptr : it->second.get();
 }
 
 ExperimentResult run_experiment(const ExperimentParams& params) {

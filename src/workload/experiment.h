@@ -2,6 +2,11 @@
 // simulated edge topology, drives the closed-loop workload, and collects
 // response-time / availability / message-count results.
 //
+// Protocols are looked up by name in the protocols::Registry; each
+// registered factory wires its servers and service clients into the
+// Deployment through the install_* helpers below.  The builtin protocols
+// are registered in workload/wiring.cpp.
+//
 // This is the code path behind every response-time and overhead figure
 // (DESIGN.md section 4), the integration tests, and the examples.
 #pragma once
@@ -18,10 +23,9 @@
 #include "obs/metrics.h"
 #include "core/iqs_server.h"
 #include "core/oqs_server.h"
-#include "protocols/majority.h"
-#include "protocols/primary_backup.h"
-#include "protocols/rowa.h"
-#include "protocols/rowa_async.h"
+#include "protocols/registry.h"
+#include "protocols/service_client.h"
+#include "rpc/qrpc.h"
 #include "sim/failure.h"
 #include "sim/world.h"
 #include "workload/app_client.h"
@@ -32,22 +36,20 @@
 
 namespace dq::workload {
 
-enum class Protocol : std::uint8_t {
-  kDqvl,            // dual quorum with volume leases (the contribution)
-  kDqvlAtomic,      // DQVL + read write-back = atomic semantics (section 6)
-  kDqBasic,         // basic dual quorum (section 3.1; infinite lease)
-  kMajority,
-  kPrimaryBackup,   // asynchronous backup propagation (paper default)
-  kPrimaryBackupSync,
-  kRowa,
-  kRowaAsync,
-};
+// Registry access that guarantees the builtin protocols are registered
+// (static-library builds would otherwise dead-strip self-registration TUs).
+[[nodiscard]] const protocols::ProtocolInfo* find_protocol(
+    const std::string& name);
+[[nodiscard]] std::vector<const protocols::ProtocolInfo*> all_protocols();
 
-[[nodiscard]] const char* protocol_name(Protocol p);
-[[nodiscard]] std::vector<Protocol> paper_protocols();  // the five in Fig 6-9
+// Display name for dq.report.v1 ("DQVL", "primary/backup", ...), from the
+// registry descriptor; "?" for unregistered names.
+[[nodiscard]] const char* protocol_name(const std::string& name);
+// The five protocols of the paper's Figures 6-9, in figure order.
+[[nodiscard]] std::vector<std::string> paper_protocols();
 
 struct ExperimentParams {
-  Protocol protocol = Protocol::kDqvl;
+  std::string protocol = "dqvl";
   sim::Topology::Params topo{};  // default: 9 servers, 3 clients, paper delays
 
   // Dual-quorum knobs.
@@ -77,16 +79,22 @@ struct ExperimentParams {
   sim::Duration op_deadline = sim::kTimeInfinity;
   std::function<ObjectId(Rng&)> choose_object;  // default: own profile
 
+  // Read-time staleness (age of information): when set, collect() computes
+  // per-read ages from the merged history into the staleness.* instruments
+  // and the report grows a "staleness" section.  Off by default: the byte
+  // layout of existing reports (goldens, checked-in baselines) is preserved.
+  bool staleness = false;
+
   // Fault model.
   double loss = 0.0;
   std::optional<sim::FailureInjector::Params> failures;
 
   // Durability & crash-restart plane.  `wal` equips the servers of WAL-aware
-  // protocols (DQVL family, majority, primary/backup) with a write-ahead
-  // log whose sync policy gates write acks; `crashes` drives exponential
-  // crash/restart renewal processes over the servers (restart runs each
-  // node's recovery hook).  Both default to off, which reproduces the
-  // pre-durability behavior bit for bit.
+  // protocols (DQVL family, majority, primary/backup, hermes, dynamo) with
+  // a write-ahead log whose sync policy gates write acks; `crashes` drives
+  // exponential crash/restart renewal processes over the servers (restart
+  // runs each node's recovery hook).  Both default to off, which reproduces
+  // the pre-durability behavior bit for bit.
   std::optional<store::WalParams> wal;
   std::optional<sim::CrashInjector::Params> crashes;
 
@@ -163,26 +171,50 @@ class Deployment {
     return *servers_.at(i);
   }
 
-  // Protocol internals (null when the deployment runs another protocol).
+  // -------------------------------------------------------------------------
+  // Wiring helpers for protocol factories (protocols::ProtocolInfo::build).
+  // -------------------------------------------------------------------------
+
+  // Embed `sc` as server i's front end: FrontEnd construction, the message
+  // handler (registered FIRST, so the service client sees replies before
+  // the protocol's server roles), and the crash hook -- the block every
+  // build_* function used to repeat.
+  void install_front_end(std::size_t server_index,
+                         std::shared_ptr<protocols::ServiceClient> sc);
+  // Closed-loop application clients that route through the front ends
+  // (locality-aware protocols: DQVL, ROWA, ROWA-Async, hermes, dynamo).
+  void install_app_clients();
+  // Closed-loop clients that each own a direct-access service client
+  // (majority, primary/backup: latency is insensitive to edge locality).
+  void install_direct_clients(
+      const std::function<std::shared_ptr<protocols::ServiceClient>(NodeId)>&
+          make);
+  // Keep a protocol component alive for the deployment's lifetime.
+  void retain(std::shared_ptr<void> component) {
+    retained_.push_back(std::move(component));
+  }
+
+  [[nodiscard]] AppClient::Params client_params() const;
+  [[nodiscard]] rpc::QrpcOptions rpc_options() const;
+
+  // Dual-quorum internals, published by the DQVL factory so tests can poke
+  // individual IQS/OQS servers (null/empty under other protocols).
+  struct DqvlRuntime {
+    std::shared_ptr<const core::DqConfig> cfg;
+    std::map<std::uint32_t, std::unique_ptr<core::IqsServer>> iqs;
+    std::map<std::uint32_t, std::unique_ptr<core::OqsServer>> oqs;
+  };
+  void set_dqvl_runtime(DqvlRuntime rt) { dqvl_ = std::move(rt); }
   [[nodiscard]] core::IqsServer* iqs_server(NodeId n);
   [[nodiscard]] core::OqsServer* oqs_server(NodeId n);
   [[nodiscard]] const std::shared_ptr<const core::DqConfig>& dq_config()
       const {
-    return dq_cfg_;
+    return dqvl_.cfg;
   }
 
   ExperimentResult collect();
 
  private:
-  void build_dqvl();
-  void build_majority();
-  void build_primary_backup(protocols::PbMode mode);
-  void build_rowa();
-  void build_rowa_async();
-  void build_clients_via_front_end();
-  AppClient::Params client_params() const;
-  [[nodiscard]] rpc::QrpcOptions rpc_options() const;
-
   ExperimentParams params_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<sim::FailureInjector> injector_;
@@ -191,16 +223,10 @@ class Deployment {
   std::vector<std::unique_ptr<EdgeNode>> servers_;
   std::vector<std::unique_ptr<AppClient>> clients_;
 
-  // Protocol components (only the relevant vectors are populated).
-  std::shared_ptr<const core::DqConfig> dq_cfg_;
-  std::map<std::uint32_t, std::unique_ptr<core::IqsServer>> iqs_;
-  std::map<std::uint32_t, std::unique_ptr<core::OqsServer>> oqs_;
-  std::vector<std::unique_ptr<protocols::MajorityServer>> maj_servers_;
-  std::shared_ptr<const protocols::PbConfig> pb_cfg_;
-  std::vector<std::unique_ptr<protocols::PbServer>> pb_servers_;
-  std::vector<std::unique_ptr<protocols::RowaServer>> rowa_servers_;
-  std::shared_ptr<const protocols::RowaAsyncConfig> async_cfg_;
-  std::vector<std::unique_ptr<protocols::RowaAsyncServer>> async_servers_;
+  DqvlRuntime dqvl_;
+  // Protocol components owned by the factory that built this deployment
+  // (servers, configs); destroyed before world_ (declared after it).
+  std::vector<std::shared_ptr<void>> retained_;
   std::vector<std::unique_ptr<FrontEnd>> front_ends_;
 };
 

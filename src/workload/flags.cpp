@@ -9,8 +9,8 @@ namespace dq::workload {
 
 const std::vector<FlagHelp>& experiment_flag_help() {
   static const std::vector<FlagHelp> kHelp = {
-      {"protocol", "dqvl | dqvl-atomic | dq-basic | majority | pb | pb-sync |"
-                   " rowa | rowa-async (default dqvl)"},
+      {"protocol", "registered protocol name (default dqvl; 'help' lists"
+                   " them)"},
       {"writes", "write ratio in [0,1] (default 0.05)"},
       {"locality", "access locality in [0,1] (default 1.0)"},
       {"burst", "workload burstiness in [0,1] (default 0)"},
@@ -25,6 +25,8 @@ const std::vector<FlagHelp>& experiment_flag_help() {
       {"volumes", "number of volumes (default 1)"},
       {"grid", "DEPRECATED alias for --iqs=grid:RxC"},
       {"drift", "max clock drift rate (default 0)"},
+      {"jitter", "multiplicative delay jitter in [0,1): delays become"
+                 " d*(1+U[0,jitter]) (default 0)"},
       {"loss", "message loss probability (default 0)"},
       {"node-unavail", "per-node unavailability for failure injection"},
       {"wal", "durability: sync | group | async (enables the WAL)"},
@@ -44,6 +46,8 @@ const std::vector<FlagHelp>& experiment_flag_help() {
                            " engine (default 0 = derived from topology)"},
       {"seed", "RNG seed (default 42)"},
       {"object", "single shared object id (default: per-client objects)"},
+      {"staleness", "record per-read staleness (age of information) and add"
+                    " the staleness section to the report (default off)"},
   };
   return kHelp;
 }
@@ -69,22 +73,6 @@ std::map<std::string, std::string> parse_flag_map(int argc, char** argv,
     }
   }
   return out;
-}
-
-std::optional<Protocol> protocol_from_name(const std::string& s) {
-  static const std::map<std::string, Protocol> kMap = {
-      {"dqvl", Protocol::kDqvl},
-      {"dqvl-atomic", Protocol::kDqvlAtomic},
-      {"dq-basic", Protocol::kDqBasic},
-      {"majority", Protocol::kMajority},
-      {"pb", Protocol::kPrimaryBackup},
-      {"pb-sync", Protocol::kPrimaryBackupSync},
-      {"rowa", Protocol::kRowa},
-      {"rowa-async", Protocol::kRowaAsync},
-  };
-  auto it = kMap.find(s);
-  if (it == kMap.end()) return std::nullopt;
-  return it->second;
 }
 
 namespace {
@@ -116,9 +104,11 @@ std::optional<ExperimentParams> params_from_flags(
 
   ExperimentParams p;
   if (auto proto_name = take(flags, "protocol")) {
-    const auto proto = protocol_from_name(*proto_name);
-    if (!proto) return fail("unknown protocol '" + *proto_name + "'");
-    p.protocol = *proto;
+    if (find_protocol(*proto_name) == nullptr) {
+      return fail("unknown protocol '" + *proto_name +
+                  "' (--protocol=help lists the registered protocols)");
+    }
+    p.protocol = *proto_name;
   }
   p.write_ratio = take_num(flags, "writes", 0.05);
   p.locality = take_num(flags, "locality", 1.0);
@@ -153,6 +143,7 @@ std::optional<ExperimentParams> params_from_flags(
   }
   p.num_volumes = static_cast<std::size_t>(take_num(flags, "volumes", 1));
   p.max_drift = take_num(flags, "drift", 0.0);
+  p.topo.jitter = take_num(flags, "jitter", 0.0);
   p.loss = take_num(flags, "loss", 0.0);
   if (flags.count("node-unavail") != 0) {
     p.failures = sim::FailureInjector::Params::for_unavailability(
@@ -199,6 +190,7 @@ std::optional<ExperimentParams> params_from_flags(
     const auto o = static_cast<std::uint64_t>(take_num(flags, "object", 0));
     p.choose_object = [o](Rng&) { return ObjectId(o); };
   }
+  p.staleness = take_num(flags, "staleness", 0.0) != 0.0;
 
   if (p.iqs.size() > p.topo.num_servers) {
     return fail("--iqs spec '" + p.iqs.describe() + "' needs " +

@@ -33,10 +33,6 @@ struct FlagHelp {
 [[nodiscard]] std::map<std::string, std::string> parse_flag_map(
     int argc, char** argv, std::string* error);
 
-// "dqvl" | "dqvl-atomic" | "dq-basic" | "majority" | "pb" | "pb-sync" |
-// "rowa" | "rowa-async" -> Protocol; nullopt otherwise.
-[[nodiscard]] std::optional<Protocol> protocol_from_name(const std::string& s);
-
 // Build ExperimentParams from the flag map, ERASING every key it understands
 // (so callers can reject leftovers or route them to tool-specific handling).
 // Returns nullopt and sets *error on an invalid value.

@@ -182,6 +182,16 @@ std::string to_json(const ExperimentParams& params,
   out += "}";
 
   out += ",\"sim_duration_ms\":" + num(sim::to_ms(result.sim_duration));
+  // Staleness section, present only when the run recorded read ages
+  // (--staleness): absent-by-default keeps the exact bytes of reports from
+  // runs without it, like the wal/crash config keys above.
+  if (const obs::HistogramData* ages = m.histogram("staleness.read_age_ms")) {
+    out += ",\"staleness\":{";
+    out += "\"reads\":" + num(m.counter("staleness.reads"));
+    out += ",\"stale_reads\":" + num(m.counter("staleness.stale_reads"));
+    out += ",\"read_age_ms\":" + hist_json(*ages);
+    out += "}";
+  }
   out += ",\"violations\":" + num(std::uint64_t(result.violations.size()));
   out += "}";
   return out;

@@ -8,7 +8,7 @@
 namespace dq::workload {
 namespace {
 
-ExperimentParams base(Protocol proto, std::uint64_t seed = 5) {
+ExperimentParams base(std::string proto, std::uint64_t seed = 5) {
   ExperimentParams p;
   p.protocol = proto;
   p.requests_per_client = 100;
@@ -21,7 +21,7 @@ ExperimentParams base(Protocol proto, std::uint64_t seed = 5) {
 // ---------------------------------------------------------------------------
 
 TEST(Majority, ReadsPayOneWanRoundTripWritesTwo) {
-  ExperimentParams p = base(Protocol::kMajority);
+  ExperimentParams p = base("majority");
   p.write_ratio = 0.5;
   const auto r = run_experiment(p);
   // Read: client->quorum RTT (86 ms) + processing.
@@ -32,7 +32,7 @@ TEST(Majority, ReadsPayOneWanRoundTripWritesTwo) {
 }
 
 TEST(Majority, ToleratesMinorityFailure) {
-  ExperimentParams p = base(Protocol::kMajority);
+  ExperimentParams p = base("majority");
   p.requests_per_client = 40;
   Deployment dep(p);
   // 4 of 9 down: majority of 5 still reachable.
@@ -45,7 +45,7 @@ TEST(Majority, ToleratesMinorityFailure) {
 }
 
 TEST(Majority, RejectsWhenMajorityUnreachable) {
-  ExperimentParams p = base(Protocol::kMajority);
+  ExperimentParams p = base("majority");
   p.requests_per_client = 5;
   p.op_deadline = sim::seconds(5);
   Deployment dep(p);
@@ -62,7 +62,7 @@ TEST(Majority, RejectsWhenMajorityUnreachable) {
 // ---------------------------------------------------------------------------
 
 TEST(PrimaryBackup, OneRoundTripForBothOps) {
-  ExperimentParams p = base(Protocol::kPrimaryBackup);
+  ExperimentParams p = base("pb");
   p.write_ratio = 0.5;
   const auto r = run_experiment(p);
   EXPECT_NEAR(r.read_ms.mean(), 87.0, 2.0);
@@ -71,7 +71,7 @@ TEST(PrimaryBackup, OneRoundTripForBothOps) {
 }
 
 TEST(PrimaryBackup, SyncModeWritesPayBackupRound) {
-  ExperimentParams p = base(Protocol::kPrimaryBackupSync);
+  ExperimentParams p = base("pb-sync");
   p.write_ratio = 1.0;
   const auto r = run_experiment(p);
   // Client->primary (86) + primary->backups round (80) + processing.
@@ -80,7 +80,7 @@ TEST(PrimaryBackup, SyncModeWritesPayBackupRound) {
 }
 
 TEST(PrimaryBackup, SyncBackupsHoldEveryAckedWrite) {
-  ExperimentParams p = base(Protocol::kPrimaryBackupSync);
+  ExperimentParams p = base("pb-sync");
   p.write_ratio = 1.0;
   p.requests_per_client = 20;
   Deployment dep(p);
@@ -90,7 +90,7 @@ TEST(PrimaryBackup, SyncBackupsHoldEveryAckedWrite) {
 }
 
 TEST(PrimaryBackup, UnavailableWhenPrimaryDown) {
-  ExperimentParams p = base(Protocol::kPrimaryBackup);
+  ExperimentParams p = base("pb");
   p.requests_per_client = 4;
   p.op_deadline = sim::seconds(5);
   Deployment dep(p);
@@ -107,7 +107,7 @@ TEST(PrimaryBackup, UnavailableWhenPrimaryDown) {
 // ---------------------------------------------------------------------------
 
 TEST(Rowa, LocalReadsWanWrites) {
-  ExperimentParams p = base(Protocol::kRowa);
+  ExperimentParams p = base("rowa");
   p.write_ratio = 0.5;
   const auto r = run_experiment(p);
   EXPECT_NEAR(r.read_ms.mean(), 9.0, 1.5);    // home RTT + processing
@@ -116,7 +116,7 @@ TEST(Rowa, LocalReadsWanWrites) {
 }
 
 TEST(Rowa, WriteBlocksWhileAnyReplicaDown) {
-  ExperimentParams p = base(Protocol::kRowa);
+  ExperimentParams p = base("rowa");
   p.write_ratio = 1.0;
   p.requests_per_client = 3;
   p.op_deadline = sim::seconds(5);
@@ -128,7 +128,7 @@ TEST(Rowa, WriteBlocksWhileAnyReplicaDown) {
 }
 
 TEST(Rowa, ReadsSurviveAllButOneReplicaDown) {
-  ExperimentParams p = base(Protocol::kRowa);
+  ExperimentParams p = base("rowa");
   p.write_ratio = 0.0;
   p.requests_per_client = 10;
   Deployment dep(p);
@@ -145,7 +145,7 @@ TEST(Rowa, ReadsSurviveAllButOneReplicaDown) {
 // ---------------------------------------------------------------------------
 
 TEST(RowaAsync, EverythingIsLocal) {
-  ExperimentParams p = base(Protocol::kRowaAsync);
+  ExperimentParams p = base("rowa-async");
   p.write_ratio = 0.5;
   const auto r = run_experiment(p);
   EXPECT_NEAR(r.read_ms.mean(), 9.0, 1.5);
@@ -156,7 +156,7 @@ TEST(RowaAsync, CanServeStaleReadsAcrossNodes) {
   // Two clients sharing one object through different home servers observe
   // each other's writes only after propagation: the checker must flag at
   // least the race window under heavy interleaving with gossip loss.
-  ExperimentParams p = base(Protocol::kRowaAsync);
+  ExperimentParams p = base("rowa-async");
   p.write_ratio = 0.5;
   p.requests_per_client = 150;
   p.loss = 0.4;  // drop most push gossip; anti-entropy heals slowly
@@ -167,7 +167,7 @@ TEST(RowaAsync, CanServeStaleReadsAcrossNodes) {
 }
 
 TEST(RowaAsync, AntiEntropyConvergesReplicasAfterLoss) {
-  ExperimentParams p = base(Protocol::kRowaAsync);
+  ExperimentParams p = base("rowa-async");
   p.write_ratio = 1.0;
   p.requests_per_client = 30;
   p.loss = 0.3;
@@ -192,7 +192,7 @@ TEST(RowaAsync, AntiEntropyConvergesReplicasAfterLoss) {
 }
 
 TEST(RowaAsync, RemainsAvailableWithMostReplicasDown) {
-  ExperimentParams p = base(Protocol::kRowaAsync);
+  ExperimentParams p = base("rowa-async");
   p.write_ratio = 0.5;
   p.requests_per_client = 20;
   Deployment dep(p);
@@ -208,18 +208,18 @@ TEST(RowaAsync, RemainsAvailableWithMostReplicasDown) {
 // ---------------------------------------------------------------------------
 
 TEST(CrossProtocol, ReadLatencyOrderingAtTargetWorkload) {
-  std::map<Protocol, ExperimentResult> results;
-  for (Protocol proto : paper_protocols()) {
+  std::map<std::string, ExperimentResult> results;
+  for (std::string proto : paper_protocols()) {
     ExperimentParams p = base(proto, 17);
     p.write_ratio = 0.05;
     p.requests_per_client = 200;
     results.emplace(proto, run_experiment(p));
   }
-  const double dqvl = results.at(Protocol::kDqvl).read_ms.mean();
-  const double pb = results.at(Protocol::kPrimaryBackup).read_ms.mean();
-  const double maj = results.at(Protocol::kMajority).read_ms.mean();
-  const double rowa = results.at(Protocol::kRowa).read_ms.mean();
-  const double async = results.at(Protocol::kRowaAsync).read_ms.mean();
+  const double dqvl = results.at("dqvl").read_ms.mean();
+  const double pb = results.at("pb").read_ms.mean();
+  const double maj = results.at("majority").read_ms.mean();
+  const double rowa = results.at("rowa").read_ms.mean();
+  const double async = results.at("rowa-async").read_ms.mean();
 
   // Paper: "DQVL provides at least a six times read response time
   // improvement over primary/backup and majority quorum".
@@ -231,10 +231,10 @@ TEST(CrossProtocol, ReadLatencyOrderingAtTargetWorkload) {
 }
 
 TEST(CrossProtocol, DqvlWriteApproachesMajorityAtHighWriteRatio) {
-  ExperimentParams dq = base(Protocol::kDqvl, 23);
+  ExperimentParams dq = base("dqvl", 23);
   dq.write_ratio = 1.0;
   dq.requests_per_client = 150;
-  ExperimentParams maj = base(Protocol::kMajority, 23);
+  ExperimentParams maj = base("majority", 23);
   maj.write_ratio = 1.0;
   maj.requests_per_client = 150;
   const double dq_w = run_experiment(dq).write_ms.mean();

@@ -11,7 +11,7 @@ namespace {
 
 ExperimentParams batched_params() {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.lease_length = sim::seconds(1);
   p.num_volumes = 8;
   p.proactive_renewal = true;

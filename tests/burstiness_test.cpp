@@ -9,7 +9,7 @@ namespace {
 TEST(Burstiness, StationaryWriteFractionIsPreserved) {
   for (double b : {0.0, 0.5, 0.9}) {
     ExperimentParams p;
-    p.protocol = Protocol::kRowaAsync;
+    p.protocol = "rowa-async";
     p.write_ratio = 0.3;
     p.burstiness = b;
     p.requests_per_client = 2000;
@@ -27,7 +27,7 @@ TEST(Burstiness, BurstsMakeRunsLonger) {
   // run length grows by ~1/(1-b).
   auto mean_run_length = [](double b) {
     ExperimentParams p;
-    p.protocol = Protocol::kRowaAsync;
+    p.protocol = "rowa-async";
     p.write_ratio = 0.5;
     p.burstiness = b;
     p.topo.num_clients = 1;
@@ -52,7 +52,7 @@ TEST(Burstiness, BurstsMakeRunsLonger) {
 }
 
 TEST(Burstiness, DqvlBenefitsMajorityDoesNot) {
-  auto overall = [](Protocol proto, double b) {
+  auto overall = [](std::string proto, double b) {
     ExperimentParams p;
     p.protocol = proto;
     p.write_ratio = 0.3;
@@ -62,19 +62,19 @@ TEST(Burstiness, DqvlBenefitsMajorityDoesNot) {
     p.choose_object = [](Rng&) { return ObjectId(5); };
     return run_experiment(p).all_ms.mean();
   };
-  const double dq_iid = overall(Protocol::kDqvl, 0.0);
-  const double dq_bursty = overall(Protocol::kDqvl, 0.9);
+  const double dq_iid = overall("dqvl", 0.0);
+  const double dq_bursty = overall("dqvl", 0.9);
   EXPECT_LT(dq_bursty, dq_iid * 0.75)
       << "bursts must help DQVL (hits + suppresses)";
-  const double mj_iid = overall(Protocol::kMajority, 0.0);
-  const double mj_bursty = overall(Protocol::kMajority, 0.9);
+  const double mj_iid = overall("majority", 0.0);
+  const double mj_bursty = overall("majority", 0.9);
   EXPECT_NEAR(mj_bursty, mj_iid, mj_iid * 0.1)
       << "majority has no cache to warm";
 }
 
 TEST(Burstiness, StillRegularUnderBurstyContention) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.4;
   p.burstiness = 0.85;
   p.requests_per_client = 80;

@@ -12,7 +12,7 @@
 namespace dq::workload {
 namespace {
 
-using ChaosCase = std::tuple<Protocol, std::uint64_t>;
+using ChaosCase = std::tuple<std::string, std::uint64_t>;
 
 class Chaos : public ::testing::TestWithParam<ChaosCase> {};
 
@@ -56,8 +56,8 @@ TEST_P(Chaos, RegularSemanticsSurviveEverything) {
 
 std::vector<ChaosCase> chaos_cases() {
   std::vector<ChaosCase> out;
-  for (Protocol proto : {Protocol::kDqvl, Protocol::kDqvlAtomic,
-                         Protocol::kMajority}) {
+  for (std::string proto : {"dqvl", "dqvl-atomic",
+                         "majority"}) {
     for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
       out.emplace_back(proto, seed);
     }
@@ -82,11 +82,11 @@ INSTANTIATE_TEST_SUITE_P(
 // faults on.  Every completed read must still be regular: acks are gated
 // on durability, recovery bumps epochs, and the grace window rides out
 // residual pre-crash leases.
-using CrashChaosCase = std::tuple<Protocol, std::uint64_t>;
+using CrashChaosCase = std::tuple<std::string, std::uint64_t>;
 
 class CrashChaos : public ::testing::TestWithParam<CrashChaosCase> {};
 
-ExperimentParams crash_chaos_params(Protocol proto, std::uint64_t seed) {
+ExperimentParams crash_chaos_params(std::string proto, std::uint64_t seed) {
   ExperimentParams p;
   p.protocol = proto;
   p.seed = seed;
@@ -133,8 +133,8 @@ TEST_P(CrashChaos, AllReadsRegularAcrossCrashRestarts) {
 
 std::vector<CrashChaosCase> crash_chaos_cases() {
   std::vector<CrashChaosCase> out;
-  for (Protocol proto : {Protocol::kDqvl, Protocol::kMajority,
-                         Protocol::kPrimaryBackupSync}) {
+  for (std::string proto : {"dqvl", "majority",
+                         "pb-sync"}) {
     for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
       out.emplace_back(proto, seed);
     }
@@ -159,7 +159,7 @@ TEST(CrashChaosTorn, TornTailPathIsExercised) {
   std::uint64_t torn = 0;
   for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
     const ExperimentResult r =
-        run_experiment(crash_chaos_params(Protocol::kDqvl, seed));
+        run_experiment(crash_chaos_params("dqvl", seed));
     EXPECT_TRUE(r.violations.empty()) << "seed " << seed;
     torn += r.metrics.counter("wal.replay.torn_dropped");
   }
@@ -171,7 +171,7 @@ TEST(CrashChaosTorn, TornTailPathIsExercised) {
 // state evaporates and must be re-derived; IQS durable state survives.
 TEST(ChaosExtra, CrashRestartChurn) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.seed = 404;
   p.write_ratio = 0.3;
   p.requests_per_client = 100;

@@ -84,7 +84,7 @@ TEST(Conformance, EqualClockWriteDoesNotClobber) {
 // time.
 TEST(Conformance, WriteClocksStrictlyIncreaseAcrossClients) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 1.0;
   p.requests_per_client = 30;
   p.seed = 77;
@@ -112,7 +112,7 @@ TEST(Conformance, WriteClocksStrictlyIncreaseAcrossClients) {
 // written (renewal of an unknown object installs a callback for it).
 TEST(Conformance, RenewalOfUnknownObjectInstallsCallback) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.requests_per_client = 0;
   Deployment dep(p);
   auto& w = dep.world();
@@ -156,7 +156,7 @@ TEST(Conformance, ReadYourOwnWriteAlwaysHolds) {
   // write completed before the read began).  Sweep it explicitly.
   for (std::uint64_t seed : {31ull, 32ull}) {
     ExperimentParams p;
-    p.protocol = Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.write_ratio = 0.5;
     p.topo.num_clients = 1;  // single client: every read follows its writes
     p.requests_per_client = 80;

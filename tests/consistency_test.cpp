@@ -15,7 +15,7 @@ namespace dq::workload {
 namespace {
 
 // (protocol, seed, loss, write_ratio)
-using Case = std::tuple<Protocol, std::uint64_t, double, double>;
+using Case = std::tuple<std::string, std::uint64_t, double, double>;
 
 class RegularSemantics : public ::testing::TestWithParam<Case> {};
 
@@ -41,9 +41,9 @@ TEST_P(RegularSemantics, HoldsUnderContentionAndLoss) {
 
 std::vector<Case> strong_cases() {
   std::vector<Case> out;
-  for (Protocol proto :
-       {Protocol::kDqvl, Protocol::kDqBasic, Protocol::kMajority,
-        Protocol::kPrimaryBackupSync, Protocol::kRowa}) {
+  for (std::string proto :
+       {"dqvl", "dq-basic", "majority",
+        "pb-sync", "rowa"}) {
     for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
       for (double loss : {0.0, 0.05}) {
         for (double w : {0.3, 0.7}) {
@@ -73,7 +73,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RegularSemantics,
 // cached reads everywhere).
 TEST(RegularSemanticsExtra, DqvlSingletonIqs) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.iqs = workload::QuorumSpec::majority(1);
   p.write_ratio = 0.4;
   p.requests_per_client = 80;
@@ -85,7 +85,7 @@ TEST(RegularSemanticsExtra, DqvlSingletonIqs) {
 // DQVL with a larger OQS read quorum (paper section 6 future work).
 TEST(RegularSemanticsExtra, DqvlReadQuorumOfThree) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.oqs_read_quorum = 3;
   p.write_ratio = 0.4;
   p.requests_per_client = 60;
@@ -98,7 +98,7 @@ TEST(RegularSemanticsExtra, DqvlReadQuorumOfThree) {
 // Many volumes with cross-volume traffic.
 TEST(RegularSemanticsExtra, DqvlManyVolumes) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.num_volumes = 8;
   p.lease_length = sim::milliseconds(500);
   p.write_ratio = 0.3;
@@ -111,7 +111,7 @@ TEST(RegularSemanticsExtra, DqvlManyVolumes) {
 // Suppression disabled must still be correct (it is an optimization).
 TEST(RegularSemanticsExtra, DqvlWithoutSuppression) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.suppression = false;
   p.write_ratio = 0.5;
   p.requests_per_client = 60;
@@ -123,7 +123,7 @@ TEST(RegularSemanticsExtra, DqvlWithoutSuppression) {
 // Proactive renewal must not break correctness either.
 TEST(RegularSemanticsExtra, DqvlWithProactiveRenewal) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.proactive_renewal = true;
   p.lease_length = sim::milliseconds(600);
   p.write_ratio = 0.3;
@@ -137,7 +137,7 @@ TEST(RegularSemanticsExtra, DqvlWithProactiveRenewal) {
 // with deadlines so requests reject rather than hang.
 TEST(RegularSemanticsExtra, DqvlUnderNodeChurn) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.3;
   p.requests_per_client = 60;
   p.lease_length = sim::seconds(1);
@@ -156,7 +156,7 @@ TEST(RegularSemanticsExtra, DqvlUnderNodeChurn) {
 // Negative control: ROWA-Async under a partition serves stale reads.
 TEST(RegularSemanticsExtra, RowaAsyncViolatesUnderPartition) {
   ExperimentParams p;
-  p.protocol = Protocol::kRowaAsync;
+  p.protocol = "rowa-async";
   p.write_ratio = 0.5;
   p.requests_per_client = 60;
   p.choose_object = [](Rng&) { return ObjectId(5); };
@@ -180,7 +180,7 @@ TEST(RegularSemanticsExtra, RowaAsyncViolatesUnderPartition) {
 // requests reject instead).
 TEST(RegularSemanticsExtra, DqvlStaysRegularUnderPartition) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.5;
   p.requests_per_client = 40;
   p.op_deadline = sim::seconds(30);

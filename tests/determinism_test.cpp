@@ -10,7 +10,7 @@ namespace {
 
 ExperimentParams adversarial(std::uint64_t seed) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.35;
   p.locality = 0.8;
   p.burstiness = 0.5;
@@ -50,7 +50,7 @@ TEST(Determinism, DifferentSeedsDiverge) {
 }
 
 TEST(Determinism, EveryProtocolIsDeterministic) {
-  for (Protocol proto : paper_protocols()) {
+  for (std::string proto : paper_protocols()) {
     ExperimentParams p;
     p.protocol = proto;
     p.write_ratio = 0.2;

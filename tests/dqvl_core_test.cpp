@@ -90,7 +90,7 @@ struct Fixture {
 
 ExperimentParams dqvl_params(sim::Duration lease = sim::seconds(10)) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.lease_length = lease;
   return p;
 }
@@ -204,7 +204,7 @@ TEST(DqvlCore, BasicProtocolWriteBlocksUntilReaderReturns) {
   // Contrast: without leases (section 3.1), the same scenario blocks the
   // write until the unreachable OQS node comes back.
   ExperimentParams p = dqvl_params();
-  p.protocol = Protocol::kDqBasic;
+  p.protocol = "dq-basic";
   Fixture f(p);
   f.write(1, ObjectId(5), "v1");
   f.read(0, ObjectId(5));
@@ -340,7 +340,7 @@ void check_invariant(Deployment& dep, const std::vector<ObjectId>& objects) {
 TEST(DqvlCore, CallbackInvariantHoldsUnderDriftingClocks) {
   ExperimentParams p = dqvl_params(sim::milliseconds(1500));
   p.max_drift = 0.01;  // 1% clock rate error
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.requests_per_client = 120;
   p.write_ratio = 0.3;
   p.seed = 13;

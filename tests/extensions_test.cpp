@@ -19,7 +19,7 @@ namespace {
 TEST(AtomicSemantics, SweepPassesAtomicChecker) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
     ExperimentParams p;
-    p.protocol = Protocol::kDqvlAtomic;
+    p.protocol = "dqvl-atomic";
     p.write_ratio = 0.4;
     p.requests_per_client = 60;
     p.lease_length = sim::milliseconds(800);
@@ -34,12 +34,12 @@ TEST(AtomicSemantics, SweepPassesAtomicChecker) {
 
 TEST(AtomicSemantics, ReadsPayTheConfirmationRound) {
   ExperimentParams reg;
-  reg.protocol = Protocol::kDqvl;
+  reg.protocol = "dqvl";
   reg.write_ratio = 0.05;
   reg.requests_per_client = 150;
   reg.seed = 5;
   ExperimentParams atom = reg;
-  atom.protocol = Protocol::kDqvlAtomic;
+  atom.protocol = "dqvl-atomic";
   const double reg_read = run_experiment(reg).read_ms.mean();
   const double atom_read = run_experiment(atom).read_ms.mean();
   // A confirmation write-quorum round costs ~one WAN RTT (80 ms).
@@ -53,7 +53,7 @@ class InversionScenario {
  public:
   explicit InversionScenario(bool atomic) {
     ExperimentParams p;
-    p.protocol = atomic ? Protocol::kDqvlAtomic : Protocol::kDqvl;
+    p.protocol = atomic ? "dqvl-atomic" : "dqvl";
     p.lease_length = sim::seconds(4);
     p.requests_per_client = 0;
     dep = std::make_unique<Deployment>(p);
@@ -214,7 +214,7 @@ TEST(AtomicSemantics, AtomicClientPreventsTheInversion) {
 
 ExperimentParams finite_obj_params() {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.lease_length = sim::seconds(30);          // long volume lease
   p.object_lease_length = sim::seconds(1);    // short object leases
   p.requests_per_client = 0;
@@ -303,7 +303,7 @@ TEST(FiniteObjectLeases, ExpiredObjectLeaseSuppressesInvalidations) {
 TEST(FiniteObjectLeases, RegularSemanticsSweep) {
   for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
     ExperimentParams p;
-    p.protocol = Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.lease_length = sim::seconds(2);
     p.object_lease_length = sim::milliseconds(400);
     p.write_ratio = 0.4;
@@ -324,7 +324,7 @@ TEST(FiniteObjectLeases, RegularSemanticsSweep) {
 TEST(GridIqs, RegularSemanticsSweep) {
   for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
     ExperimentParams p;
-    p.protocol = Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.iqs = workload::QuorumSpec::grid(2, 2);
     p.write_ratio = 0.4;
     p.requests_per_client = 60;
@@ -341,7 +341,7 @@ TEST(GridIqs, SmallerReadQuorumThanMajority) {
   // A 3x3 grid reads from 3 nodes (one per column) where a majority of 9
   // reads from 5 -- the "reduce the overall system load" motivation.
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.topo.num_servers = 9;
   p.iqs = workload::QuorumSpec::grid(3, 3);
   Deployment dep(p);

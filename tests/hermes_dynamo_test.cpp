@@ -1,0 +1,246 @@
+// End-to-end coverage for the two registry baselines added alongside the
+// dual-quorum protocols:
+//
+//   * Hermes (invalidation broadcast): linearizable -- held to
+//     History::check_atomic under loss, jitter, and crash/restart churn.
+//   * Dynamo (sloppy quorum + hinted handoff + read-repair): eventual --
+//     clean when every object has a single writer site, provably stale
+//     under partitions (the negative control for the staleness metric).
+//
+// Plus the determinism contract every protocol owes the harness: dq.report.v1
+// bytes identical at any --jobs and any --world-threads >= 1, pinned by
+// checked-in goldens.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "run/parallel_runner.h"
+#include "workload/experiment.h"
+#include "workload/report.h"
+
+namespace dq::workload {
+namespace {
+
+// --- Hermes ----------------------------------------------------------------
+
+TEST(Hermes, AtomicUnderLossAndContention) {
+  ExperimentParams p;
+  p.protocol = "hermes";
+  p.write_ratio = 0.3;
+  p.requests_per_client = 100;
+  p.loss = 0.05;
+  p.topo.jitter = 0.1;
+  // One shared object: every client writes the same key through a different
+  // coordinator, the worst case for linearizability.
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  p.seed = 11;
+  const ExperimentResult r = run_experiment(p);
+  EXPECT_EQ(r.completed_reads + r.completed_writes,
+            3 * p.requests_per_client);
+  const auto violations = r.history.check_atomic();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? "" : violations.front().reason);
+}
+
+TEST(Hermes, AtomicAcrossCrashRestartWithWal) {
+  ExperimentParams p;
+  p.protocol = "hermes";
+  p.write_ratio = 0.3;
+  p.requests_per_client = 60;
+  p.loss = 0.02;
+  p.op_deadline = sim::seconds(30);
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  store::WalParams w;
+  w.policy = store::SyncPolicy::kSyncEveryWrite;
+  p.wal = w;
+  sim::CrashInjector::Params c;
+  c.mean_time_to_crash = sim::seconds(15);
+  c.mean_downtime = sim::seconds(1);
+  p.crashes = c;
+  p.seed = 3;
+  const ExperimentResult r = run_experiment(p);
+  // Replica crashes may reject some ops at their deadline; the survivors
+  // must still form an atomic history (WAL replay + epoch replays cannot
+  // resurrect stale versions).
+  EXPECT_GT(r.completed_reads + r.completed_writes, 0u);
+  const auto violations = r.history.check_atomic();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? "" : violations.front().reason);
+}
+
+// --- Dynamo ----------------------------------------------------------------
+
+TEST(Dynamo, CleanWithSingleWriterObjects) {
+  // Default workload: each client owns its profile object, so LWW clocks
+  // from one coordinator order writes consistently; no loss, no partitions.
+  ExperimentParams p;
+  p.protocol = "dynamo";
+  p.write_ratio = 0.2;
+  p.requests_per_client = 80;
+  p.seed = 9;
+  const ExperimentResult r = run_experiment(p);
+  EXPECT_EQ(r.completed_reads + r.completed_writes,
+            3 * p.requests_per_client);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.size() << " violations, first: "
+      << (r.violations.empty() ? "" : r.violations.front().reason);
+}
+
+TEST(Dynamo, RecoversThroughCrashesWithWal) {
+  ExperimentParams p;
+  p.protocol = "dynamo";
+  p.write_ratio = 0.3;
+  p.requests_per_client = 60;
+  p.op_deadline = sim::seconds(30);
+  store::WalParams w;
+  w.policy = store::SyncPolicy::kGroupCommit;
+  p.wal = w;
+  sim::CrashInjector::Params c;
+  c.mean_time_to_crash = sim::seconds(15);
+  c.mean_downtime = sim::seconds(1);
+  p.crashes = c;
+  p.seed = 17;
+  const ExperimentResult r = run_experiment(p);
+  // Sloppy quorums route around the crashed replica, so almost everything
+  // completes; this is an availability baseline, not a consistency one.
+  EXPECT_GT(r.completed_reads + r.completed_writes,
+            3 * p.requests_per_client * 9 / 10);
+}
+
+// The negative control the staleness metric exists for: partition the
+// cluster so two coordinator groups serve the same object from diverged
+// replicas.  Dynamo keeps answering on both sides (sloppy quorums extend
+// down the ring to whatever is reachable) -- and the checker and the
+// staleness histogram must both expose the cost.
+TEST(Dynamo, ServesStaleReadsUnderPartition) {
+  ExperimentParams p;
+  p.protocol = "dynamo";
+  p.write_ratio = 0.5;
+  p.requests_per_client = 60;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  p.staleness = true;
+  Deployment dep(p);
+  // Split {servers 0, 1 + clients 0, 1} from the rest.  Object 5's home
+  // replicas (servers 5, 6, 7) are all on the majority side; coordinators
+  // 0 and 1 reach them only through ring extension onto their own island,
+  // so the two sides' stores diverge until the partition would heal.
+  const auto& topo = dep.world().topology();
+  dep.world().faults().set_group(topo.server(0), 1);
+  dep.world().faults().set_group(topo.server(1), 1);
+  dep.world().faults().set_group(topo.client(0), 1);
+  dep.world().faults().set_group(topo.client(1), 1);
+  const ExperimentResult r = dep.run();
+  EXPECT_FALSE(r.violations.empty())
+      << "expected stale reads across the partition";
+  EXPECT_GT(r.metrics.counter("staleness.stale_reads"), 0u)
+      << "staleness histogram must count the stale reads the checker saw";
+  const obs::HistogramData* ages = r.metrics.histogram("staleness.read_age_ms");
+  ASSERT_NE(ages, nullptr);
+  EXPECT_EQ(ages->count, r.completed_reads);
+  EXPECT_GT(ages->max, 0.0);
+}
+
+// DQVL under the same contended single-object workload records all-zero
+// ages: regular semantics means no read ever misses a preceding commit.
+TEST(Dynamo, DqvlBaselineHasZeroStaleness) {
+  ExperimentParams p;
+  p.protocol = "dqvl";
+  p.write_ratio = 0.3;
+  p.requests_per_client = 80;
+  p.loss = 0.02;
+  p.topo.jitter = 0.1;
+  p.choose_object = [](Rng&) { return ObjectId(5); };
+  p.staleness = true;
+  p.seed = 21;
+  const ExperimentResult r = run_experiment(p);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.metrics.counter("staleness.stale_reads"), 0u);
+  const obs::HistogramData* ages = r.metrics.histogram("staleness.read_age_ms");
+  ASSERT_NE(ages, nullptr);
+  EXPECT_EQ(ages->count, r.completed_reads);
+  EXPECT_EQ(ages->max, 0.0);
+}
+
+// --- determinism & goldens -------------------------------------------------
+
+// These parameters must not change: tests/golden/report_{hermes,dynamo}_*
+// were generated from them (with --staleness on, so the goldens also pin the
+// staleness section's bytes).
+ExperimentParams golden_params(const std::string& proto, std::uint64_t seed) {
+  ExperimentParams p;
+  p.protocol = proto;
+  p.write_ratio = 0.2;
+  p.locality = 0.9;
+  p.requests_per_client = 100;
+  p.loss = 0.02;
+  p.topo.jitter = 0.1;
+  p.staleness = true;
+  p.seed = seed;
+  return p;
+}
+
+std::string report_at(const ExperimentParams& base, std::size_t world_threads) {
+  ExperimentParams p = base;
+  p.world_threads = world_threads;
+  Deployment dep(p);
+  const ExperimentResult r = dep.run();
+  return report::to_json(p, r);
+}
+
+std::string read_golden(const std::string& name) {
+  const std::string path =
+      std::string(DQ_GOLDEN_DIR) + "/report_" + name + ".json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class NewProtocolGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NewProtocolGolden, ByteIdenticalAcrossWorldThreads) {
+  const auto base = golden_params(GetParam(), 7);
+  const std::string serial = report_at(base, 1);
+  EXPECT_EQ(serial, report_at(base, 4))
+      << GetParam() << " diverges between --world-threads 1 and 4";
+  // The generator wrote each document with a trailing newline.
+  EXPECT_EQ(serial + "\n",
+            read_golden(std::string(GetParam()) + "_seed7"))
+      << GetParam() << " no longer matches its checked-in golden";
+}
+
+TEST_P(NewProtocolGolden, ByteIdenticalAcrossJobCounts) {
+  std::vector<ExperimentParams> trials;
+  for (std::uint64_t seed : {7ULL, 19ULL}) {
+    ExperimentParams p = golden_params(GetParam(), seed);
+    p.world_threads = 1;
+    trials.push_back(p);
+  }
+  std::vector<std::string> serial, threaded;
+  for (const auto& results : {run::run_experiments(trials, 1),
+                              run::run_experiments(trials, 4)}) {
+    auto& out = serial.empty() ? serial : threaded;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out.push_back(report::to_json(trials[i], results[i]));
+    }
+  }
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i])
+        << GetParam() << " trial " << i << " diverges at jobs=4";
+  }
+  EXPECT_EQ(serial[0] + "\n",
+            read_golden(std::string(GetParam()) + "_seed7"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, NewProtocolGolden,
+                         ::testing::Values("hermes", "dynamo"));
+
+}  // namespace
+}  // namespace dq::workload

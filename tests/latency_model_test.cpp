@@ -29,21 +29,21 @@ TEST(LatencyModel, MatchesSimulatedBaselines) {
     p.requests_per_client = 300;
     p.seed = 17;
 
-    p.protocol = Protocol::kMajority;
+    p.protocol = "majority";
     auto r = run_experiment(p);
     EXPECT_NEAR(r.read_ms.mean(), m.majority_read(), 1.0);
     EXPECT_NEAR(r.write_ms.mean(), m.majority_write(), 2.0);
 
-    p.protocol = Protocol::kPrimaryBackup;
+    p.protocol = "pb";
     r = run_experiment(p);
     EXPECT_NEAR(r.all_ms.mean(), m.pb_avg(w), 1.0);
 
-    p.protocol = Protocol::kRowa;
+    p.protocol = "rowa";
     r = run_experiment(p);
     EXPECT_NEAR(r.read_ms.mean(), m.rowa_read(), 1.0);
     EXPECT_NEAR(r.write_ms.mean(), m.rowa_write(), 1.0);
 
-    p.protocol = Protocol::kRowaAsync;
+    p.protocol = "rowa-async";
     r = run_experiment(p);
     EXPECT_NEAR(r.all_ms.mean(), m.rowa_async_avg(w), 1.0);
   }
@@ -53,7 +53,7 @@ TEST(LatencyModel, MatchesSimulatedDqvlPathLatencies) {
   // Drive the four DQVL paths deterministically and compare point values.
   const auto m = paper_model();
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.requests_per_client = 200;
   p.write_ratio = 0.05;
   p.seed = 23;
@@ -88,7 +88,7 @@ TEST(LatencyModel, LocalityAdjustment) {
                    m.dqvl_read_hit() + 78.0);
   // Cross-check against the simulator (ROWA-Async isolates the hop).
   ExperimentParams p;
-  p.protocol = Protocol::kRowaAsync;
+  p.protocol = "rowa-async";
   p.locality = 0.6;
   p.write_ratio = 0.0;
   p.requests_per_client = 600;

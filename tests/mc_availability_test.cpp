@@ -10,7 +10,7 @@
 namespace dq::workload {
 namespace {
 
-double measured_unavailability(Protocol proto, double w, double p_node,
+double measured_unavailability(std::string proto, double w, double p_node,
                                std::uint64_t seed) {
   ExperimentParams p;
   p.protocol = proto;
@@ -51,7 +51,7 @@ TEST(MonteCarloAvailability, MajorityMatchesModelWithinFactorThree) {
   m.p = p_node;
   double measured = 0;
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
-    measured += measured_unavailability(Protocol::kMajority, 0.5, p_node,
+    measured += measured_unavailability("majority", 0.5, p_node,
                                         seed);
   }
   measured /= 3;
@@ -65,8 +65,8 @@ TEST(MonteCarloAvailability, DqvlTracksMajorityInSimulationToo) {
   const double p_node = 0.15;
   double dq = 0, mj = 0;
   for (std::uint64_t seed : {4ull, 5ull, 6ull}) {
-    dq += measured_unavailability(Protocol::kDqvl, 0.5, p_node, seed);
-    mj += measured_unavailability(Protocol::kMajority, 0.5, p_node, seed);
+    dq += measured_unavailability("dqvl", 0.5, p_node, seed);
+    mj += measured_unavailability("majority", 0.5, p_node, seed);
   }
   // Within a factor of ~4 of each other (DQVL adds the OQS invalidation
   // dependency on writes but hides some read failures behind leases).
@@ -77,9 +77,9 @@ TEST(MonteCarloAvailability, PrimaryBackupIsWorseThanMajorityHere) {
   const double p_node = 0.15;
   double pb = 0, mj = 0;
   for (std::uint64_t seed : {7ull, 8ull}) {
-    pb += measured_unavailability(Protocol::kPrimaryBackup, 0.5, p_node,
+    pb += measured_unavailability("pb", 0.5, p_node,
                                   seed);
-    mj += measured_unavailability(Protocol::kMajority, 0.5, p_node, seed);
+    mj += measured_unavailability("majority", 0.5, p_node, seed);
   }
   // Model: p/b unavailability ~0.15 vs majority ~0.027.
   EXPECT_GT(pb, mj);
@@ -89,7 +89,7 @@ TEST(MonteCarloAvailability, PrimaryBackupIsWorseThanMajorityHere) {
 TEST(MonteCarloAvailability, RowaWritesCollapseUnderFailures) {
   const double p_node = 0.15;
   const double rowa_w =
-      measured_unavailability(Protocol::kRowa, 1.0, p_node, 9);
+      measured_unavailability("rowa", 1.0, p_node, 9);
   // Model: 1 - (1-p)^5 ~= 0.56.  Allow a broad band (retransmission within
   // the deadline rides out the shortest failures).
   EXPECT_GT(rowa_w, 0.25);

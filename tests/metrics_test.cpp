@@ -204,7 +204,7 @@ TEST(QuorumSpec, ParamsCarryTheSpecDirectly) {
 
 ExperimentParams small_dqvl(std::uint64_t seed) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.3;
   p.requests_per_client = 60;
   p.loss = 0.02;
@@ -241,13 +241,13 @@ TEST(MetricsEndToEnd, BaselineRunsPopulateProtocolCounters) {
   p.requests_per_client = 40;
   p.write_ratio = 0.2;
   p.seed = 11;
-  p.protocol = Protocol::kMajority;
+  p.protocol = "majority";
   EXPECT_GT(run_experiment(p).metrics.counter("proto.majority.writes"), 0u);
-  p.protocol = Protocol::kPrimaryBackup;
+  p.protocol = "pb";
   EXPECT_GT(run_experiment(p).metrics.counter("proto.pb.reads"), 0u);
-  p.protocol = Protocol::kRowa;
+  p.protocol = "rowa";
   EXPECT_GT(run_experiment(p).metrics.counter("proto.rowa.reads"), 0u);
-  p.protocol = Protocol::kRowaAsync;
+  p.protocol = "rowa-async";
   EXPECT_GT(run_experiment(p).metrics.counter("proto.rowa_async.writes"), 0u);
 }
 

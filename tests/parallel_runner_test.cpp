@@ -19,12 +19,11 @@ namespace dq::run {
 namespace {
 
 using workload::ExperimentParams;
-using workload::Protocol;
 
 // The golden matrix: two protocols x two seeds, with enough loss and jitter
 // that the run exercises retries, reordering, and drops.  These parameters
 // must not change -- tests/golden/*.json were generated from them.
-ExperimentParams golden_params(Protocol proto, std::uint64_t seed) {
+ExperimentParams golden_params(std::string proto, std::uint64_t seed) {
   ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = 0.2;
@@ -42,7 +41,7 @@ ExperimentParams golden_params(Protocol proto, std::uint64_t seed) {
 // reports too must be byte-identical at any --jobs value and against their
 // checked-in goldens.  These parameters must not change either --
 // tests/golden/report_*_crash_seed*.json were generated from them.
-ExperimentParams crash_golden_params(Protocol proto, std::uint64_t seed) {
+ExperimentParams crash_golden_params(std::string proto, std::uint64_t seed) {
   ExperimentParams p;
   p.protocol = proto;
   p.write_ratio = 0.3;
@@ -65,20 +64,20 @@ ExperimentParams crash_golden_params(Protocol proto, std::uint64_t seed) {
 }
 
 struct Cell {
-  Protocol proto;
+  std::string proto;
   const char* name;
   std::uint64_t seed;
   bool crashes;
 };
 
 const Cell kCells[] = {
-    {Protocol::kDqvl, "dqvl", 7, false},
-    {Protocol::kDqvl, "dqvl", 11, false},
-    {Protocol::kMajority, "majority", 7, false},
-    {Protocol::kMajority, "majority", 11, false},
-    {Protocol::kDqvl, "dqvl_crash", 13, true},
-    {Protocol::kDqvl, "dqvl_crash", 29, true},
-    {Protocol::kMajority, "majority_crash", 13, true},
+    {"dqvl", "dqvl", 7, false},
+    {"dqvl", "dqvl", 11, false},
+    {"majority", "majority", 7, false},
+    {"majority", "majority", 11, false},
+    {"dqvl", "dqvl_crash", 13, true},
+    {"dqvl", "dqvl_crash", 29, true},
+    {"majority", "majority_crash", 13, true},
 };
 
 std::vector<std::string> reports_at(std::size_t jobs) {

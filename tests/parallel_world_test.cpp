@@ -30,7 +30,6 @@ namespace dq::sim {
 namespace {
 
 using workload::ExperimentParams;
-using workload::Protocol;
 
 // The golden cell: DQVL over a 12-server deployment with jitter, loss, and
 // writes, so the run exercises retries, reordering, drops, and lease renewal
@@ -39,7 +38,7 @@ using workload::Protocol;
 // --world-threads 4).
 ExperimentParams world_golden_params() {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.topo.num_servers = 12;
   p.topo.num_clients = 6;
   p.topo.jitter = 0.1;
@@ -81,7 +80,7 @@ TEST(ParallelWorld, ReportMatchesCheckedInGolden) {
 
 TEST(ParallelWorld, MajorityProtocolIdenticalAcrossThreadCounts) {
   ExperimentParams p = world_golden_params();
-  p.protocol = Protocol::kMajority;
+  p.protocol = "majority";
   p.seed = 11;
   EXPECT_EQ(report_at(p, 1), report_at(p, 4));
 }

@@ -11,7 +11,7 @@ namespace {
 struct PrefetchFixture {
   PrefetchFixture() {
     ExperimentParams p;
-    p.protocol = Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.requests_per_client = 0;
     dep = std::make_unique<Deployment>(p);
     auto& w = dep->world();
@@ -104,7 +104,7 @@ TEST(Prefetch, FetchedStateIsCurrentNotStale) {
 
 TEST(Prefetch, ConsistencySweepWithPeriodicPrefetch) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.write_ratio = 0.3;
   p.requests_per_client = 60;
   p.lease_length = sim::seconds(1);

@@ -20,7 +20,7 @@ namespace {
 
 ExperimentParams dqvl_wal_params() {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.seed = 77;
   p.write_ratio = 0.3;
   p.requests_per_client = 80;
@@ -174,7 +174,7 @@ TEST(CrashInjection, DqvlStaysRegularUnderCrashChurn) {
 
 TEST(CrashInjection, MajorityRecoversFromItsWal) {
   ExperimentParams p = dqvl_wal_params();
-  p.protocol = Protocol::kMajority;
+  p.protocol = "majority";
   p.requests_per_client = 120;
   sim::CrashInjector::Params c;
   c.mean_time_to_crash = sim::seconds(20);
@@ -189,7 +189,7 @@ TEST(CrashInjection, MajorityRecoversFromItsWal) {
 
 TEST(CrashInjection, PrimaryBackupRecoversFromItsWal) {
   ExperimentParams p = dqvl_wal_params();
-  p.protocol = Protocol::kPrimaryBackupSync;
+  p.protocol = "pb-sync";
   p.requests_per_client = 120;
   sim::CrashInjector::Params c;
   c.mean_time_to_crash = sim::seconds(30);

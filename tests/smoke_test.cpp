@@ -7,7 +7,7 @@
 namespace dq::workload {
 namespace {
 
-class SmokeTest : public ::testing::TestWithParam<Protocol> {};
+class SmokeTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(SmokeTest, CompletesWorkloadWithRegularHistory) {
   ExperimentParams p;
@@ -25,7 +25,7 @@ TEST_P(SmokeTest, CompletesWorkloadWithRegularHistory) {
   // whose push propagation outruns the closed-loop client) should be
   // regular.  ROWA-Async is *not* guaranteed regular; failure-injection
   // tests assert its violations separately.
-  if (GetParam() != Protocol::kRowaAsync) {
+  if (GetParam() != "rowa-async") {
     EXPECT_TRUE(r.violations.empty())
         << r.violations.size() << " violations, first: "
         << (r.violations.empty() ? "" : r.violations.front().reason);
@@ -34,11 +34,12 @@ TEST_P(SmokeTest, CompletesWorkloadWithRegularHistory) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, SmokeTest,
-    ::testing::Values(Protocol::kDqvl, Protocol::kDqBasic,
-                      Protocol::kMajority, Protocol::kPrimaryBackup,
-                      Protocol::kPrimaryBackupSync, Protocol::kRowa,
-                      Protocol::kRowaAsync),
-    [](const ::testing::TestParamInfo<Protocol>& info) {
+    ::testing::Values("dqvl", "dq-basic",
+                      "majority", "pb",
+                      "pb-sync", "rowa",
+                      "rowa-async", "hermes",
+                      "dynamo"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
       std::string n = protocol_name(info.param);
       for (char& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';

@@ -64,7 +64,7 @@ TEST(Trace, WorldRecordsNetworkAndFaultEvents) {
 // recorded decisions directly.
 TEST(Trace, DqvlDecisionsAreRecorded) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.requests_per_client = 0;
   Deployment dep(p);
   auto& w = dep.world();
@@ -121,7 +121,7 @@ TEST(Trace, DqvlDecisionsAreRecorded) {
 
 TEST(Trace, DelayedInvalAndEpochEventsAreRecorded) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.lease_length = sim::seconds(1);
   p.max_delayed_per_volume = 2;
   p.iqs = workload::QuorumSpec::majority(1);  // single IQS node sees every write: deterministic GC

@@ -15,8 +15,10 @@ namespace {
 
 std::vector<dq::workload::ExperimentParams> smoke_trials() {
   std::vector<dq::workload::ExperimentParams> trials;
-  for (const auto proto : {dq::workload::Protocol::kDqvl,
-                           dq::workload::Protocol::kMajority}) {
+  for (const auto proto : {"dqvl",
+                           "majority",
+                           "hermes",
+                           "dynamo"}) {
     for (const std::uint64_t seed : {7ULL, 11ULL}) {
       dq::workload::ExperimentParams p;
       p.protocol = proto;

@@ -13,9 +13,9 @@
 
 namespace {
 
-dq::workload::ExperimentParams smoke_params() {
+dq::workload::ExperimentParams smoke_params(const std::string& proto) {
   dq::workload::ExperimentParams p;
-  p.protocol = dq::workload::Protocol::kDqvl;
+  p.protocol = proto;
   p.topo.num_servers = 12;
   p.topo.num_clients = 6;
   p.topo.jitter = 0.1;
@@ -27,8 +27,8 @@ dq::workload::ExperimentParams smoke_params() {
   return p;
 }
 
-std::string render(std::size_t world_threads) {
-  dq::workload::ExperimentParams p = smoke_params();
+std::string render(const std::string& proto, std::size_t world_threads) {
+  dq::workload::ExperimentParams p = smoke_params(proto);
   p.world_threads = world_threads;
   return dq::workload::report::to_json(p, dq::workload::run_experiment(p));
 }
@@ -36,17 +36,24 @@ std::string render(std::size_t world_threads) {
 }  // namespace
 
 int main() {
-  const std::string at1 = render(1);
-  const std::string at4 = render(4);
-  if (at1 != at4) {
-    std::fprintf(stderr,
-                 "tsan_world_smoke: --world-threads 1 and 4 reports differ "
-                 "-- the partitioned engine's schedule leaked thread "
-                 "scheduling\n");
-    return 1;
+  // DQVL exercises the dual-quorum machinery; Hermes and Dynamo are the
+  // registry baselines with the most timer/retry traffic (engine
+  // retransmissions, replay timers, handoff loops) under the partitioned
+  // engine.
+  for (const char* proto : {"dqvl", "hermes", "dynamo"}) {
+    const std::string at1 = render(proto, 1);
+    const std::string at4 = render(proto, 4);
+    if (at1 != at4) {
+      std::fprintf(stderr,
+                   "tsan_world_smoke: %s --world-threads 1 and 4 reports "
+                   "differ -- the partitioned engine's schedule leaked "
+                   "thread scheduling\n",
+                   proto);
+      return 1;
+    }
   }
   std::printf(
       "tsan_world_smoke: dq.report.v1 byte-identical at --world-threads 1 "
-      "and 4\n");
+      "and 4 for dqvl, hermes, dynamo\n");
   return 0;
 }

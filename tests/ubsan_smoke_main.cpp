@@ -11,7 +11,7 @@
 
 namespace {
 
-int run_one(dq::workload::Protocol proto) {
+int run_one(std::string proto) {
   dq::workload::ExperimentParams p;
   p.protocol = proto;
   p.iqs = dq::workload::QuorumSpec::majority(3);
@@ -41,7 +41,9 @@ int run_one(dq::workload::Protocol proto) {
 
 int main() {
   int rc = 0;
-  rc |= run_one(dq::workload::Protocol::kDqvl);
-  rc |= run_one(dq::workload::Protocol::kPrimaryBackup);
+  rc |= run_one("dqvl");
+  rc |= run_one("pb");
+  rc |= run_one("hermes");
+  rc |= run_one("dynamo");
   return rc;
 }

@@ -15,7 +15,7 @@ struct VolumeFixture {
   explicit VolumeFixture(std::size_t num_volumes,
                          sim::Duration lease = sim::seconds(5)) {
     ExperimentParams p;
-    p.protocol = Protocol::kDqvl;
+    p.protocol = "dqvl";
     p.num_volumes = num_volumes;
     p.lease_length = lease;
     p.requests_per_client = 0;
@@ -113,7 +113,7 @@ TEST(Volumes, WriteToOneVolumeDoesNotDisturbAnother) {
 
 TEST(Volumes, EpochsAreIndependentPerVolume) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.num_volumes = 2;
   p.lease_length = sim::seconds(1);
   p.max_delayed_per_volume = 1;

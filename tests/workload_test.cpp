@@ -109,7 +109,7 @@ TEST(FailureInjector, SteadyStateMatchesTarget) {
 TEST(AppClient, LocalityControlsWhichFrontEndServes) {
   // locality = 0.7 => ~70% of DQVL requests hit the home front end.
   ExperimentParams p;
-  p.protocol = Protocol::kRowaAsync;  // local ops; latency identifies the FE
+  p.protocol = "rowa-async";  // local ops; latency identifies the FE
   p.locality = 0.7;
   p.requests_per_client = 600;
   p.write_ratio = 0.0;
@@ -121,7 +121,7 @@ TEST(AppClient, LocalityControlsWhichFrontEndServes) {
 
 TEST(AppClient, DeadlineRejectsAndMovesOn) {
   ExperimentParams p;
-  p.protocol = Protocol::kMajority;
+  p.protocol = "majority";
   p.requests_per_client = 10;
   p.op_deadline = sim::seconds(2);
   Deployment dep(p);
@@ -137,7 +137,7 @@ TEST(AppClient, DeadlineRejectsAndMovesOn) {
 
 TEST(AppClient, RetransmissionSurvivesHeavyAppLayerLoss) {
   ExperimentParams p;
-  p.protocol = Protocol::kRowaAsync;
+  p.protocol = "rowa-async";
   p.loss = 0.3;
   p.requests_per_client = 50;
   p.seed = 77;
@@ -147,7 +147,7 @@ TEST(AppClient, RetransmissionSurvivesHeavyAppLayerLoss) {
 
 TEST(AppClient, HistoryRecordsEveryOperation) {
   ExperimentParams p;
-  p.protocol = Protocol::kRowa;
+  p.protocol = "rowa";
   p.requests_per_client = 40;
   p.write_ratio = 0.5;
   const auto r = run_experiment(p);
@@ -160,7 +160,7 @@ TEST(AppClient, HistoryRecordsEveryOperation) {
 
 TEST(AppClient, WriteRatioIsRespected) {
   ExperimentParams p;
-  p.protocol = Protocol::kRowaAsync;
+  p.protocol = "rowa-async";
   p.write_ratio = 0.3;
   p.requests_per_client = 1000;
   const auto r = run_experiment(p);
@@ -172,7 +172,7 @@ TEST(AppClient, WriteRatioIsRespected) {
 
 TEST(AppClient, ThinkTimeStretchesWallClock) {
   ExperimentParams fast;
-  fast.protocol = Protocol::kRowaAsync;
+  fast.protocol = "rowa-async";
   fast.requests_per_client = 50;
   ExperimentParams slow = fast;
   slow.think_time = sim::milliseconds(100);
@@ -209,7 +209,7 @@ TEST(WireSizes, EveryAlternativeHasANonTrivialSize) {
 
 TEST(WireSizes, ExperimentReportsBytesPerRequest) {
   ExperimentParams p;
-  p.protocol = Protocol::kDqvl;
+  p.protocol = "dqvl";
   p.requests_per_client = 50;
   const auto r = run_experiment(p);
   EXPECT_GT(r.bytes_per_request, 100.0);

@@ -36,6 +36,7 @@ CONFIG_KEYS = {
     "write_ratio", "seed",
 }
 METRICS_KEYS = {"counters", "gauges", "histograms"}
+STALENESS_KEYS = {"reads", "stale_reads", "read_age_ms"}
 LINT_KEYS = {
     "schema", "root", "files_scanned", "clean", "rules", "diagnostics",
     "suppressions",
@@ -124,6 +125,27 @@ def check_report(doc, where, *, dqvl=False):
            f"{where}.sim_duration_ms: not a number")
     expect(isinstance(doc["violations"], int) and doc["violations"] >= 0,
            f"{where}.violations: expected a non-negative count")
+
+    # Optional staleness section (--staleness runs): per-read age histogram
+    # plus read/stale-read counts, which must agree with each other.
+    if "staleness" in doc:
+        st = doc["staleness"]
+        expect(isinstance(st, dict), f"{where}.staleness: expected object")
+        missing = STALENESS_KEYS - st.keys()
+        expect(not missing, f"{where}.staleness: missing keys "
+               f"{sorted(missing)}")
+        for k in ("reads", "stale_reads"):
+            expect(isinstance(st[k], int) and st[k] >= 0,
+                   f"{where}.staleness.{k}: not a non-negative int")
+        expect(st["stale_reads"] <= st["reads"],
+               f"{where}.staleness: stale_reads > reads")
+        check_summary(st["read_age_ms"], f"{where}.staleness.read_age_ms")
+        expect(st["read_age_ms"]["count"] == st["reads"],
+               f"{where}.staleness.read_age_ms.count != reads")
+        hists = doc["metrics"]["histograms"]
+        expect("staleness.read_age_ms" in hists,
+               f"{where}.metrics.histograms: staleness.read_age_ms missing "
+               "despite staleness section")
 
     if dqvl:
         # The acceptance bar: per-phase write-latency histograms and

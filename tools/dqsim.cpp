@@ -61,6 +61,18 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  if (auto it = flags.find("protocol");
+      it != flags.end() && it->second == "help") {
+    std::printf("registered protocols:\n");
+    for (const protocols::ProtocolInfo* info : all_protocols()) {
+      std::printf("  %-12s %-20s %-8s wal=%s crash-recovery=%s\n",
+                  info->name.c_str(), info->display_name.c_str(),
+                  protocols::to_string(info->caps.consistency_class),
+                  info->caps.supports_wal ? "yes" : "no",
+                  info->caps.supports_crash_recovery ? "yes" : "no");
+    }
+    return 0;
+  }
 
   const auto params = params_from_flags(flags, &err);
   if (!params) {
