@@ -26,6 +26,8 @@ using namespace dq::bench;
 namespace {
 
 double wall_ms() {
+  // dqlint:allow(det-wall-clock): this bench measures real elapsed time by
+  // design; the dq.report.v1 documents it emits stay seed-deterministic.
   using clk = std::chrono::steady_clock;
   return std::chrono::duration<double, std::milli>(
              clk::now().time_since_epoch())

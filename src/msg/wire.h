@@ -69,6 +69,8 @@ struct DqWrite {
   Value value;
   LogicalClock clock;
 };
+// dqlint:allow(flow-unhandled-message): ack consumed generically by the QRPC
+// quorum counter; no receiver inspects the body.
 struct DqWriteAck {
   ObjectId object;
   LogicalClock clock;
@@ -212,6 +214,8 @@ struct MajWrite {
   Value value;
   LogicalClock clock;
 };
+// dqlint:allow(flow-unhandled-message): ack consumed generically by the QRPC
+// quorum counter; no receiver inspects the body.
 struct MajWriteAck {
   ObjectId object;
   LogicalClock clock;
@@ -265,6 +269,8 @@ struct RowaWrite {
   Value value;
   LogicalClock clock;
 };
+// dqlint:allow(flow-unhandled-message): ack consumed generically by the QRPC
+// quorum counter; no receiver inspects the body.
 struct RowaWriteAck {
   ObjectId object;
   LogicalClock clock;
@@ -339,6 +345,8 @@ struct HermesInv {
   LogicalClock clock;
   Epoch epoch = 0;
 };
+// dqlint:allow(flow-unhandled-message): ack consumed generically by the QRPC
+// broadcast counter; no receiver inspects the body.
 struct HermesInvAck {
   ObjectId object;
   LogicalClock clock;
@@ -349,6 +357,8 @@ struct HermesVal {
   LogicalClock clock;
   Epoch epoch = 0;
 };
+// dqlint:allow(flow-unhandled-message): ack consumed generically by the QRPC
+// broadcast counter; no receiver inspects the body.
 struct HermesValAck {
   ObjectId object;
   LogicalClock clock;

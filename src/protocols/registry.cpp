@@ -16,6 +16,9 @@ const char* to_string(ConsistencyClass c) {
 }
 
 Registry& Registry::instance() {
+  // dqlint:allow(part-local-static): registry is write-once at startup
+  // (ensure_builtins_registered) and read-only during trials; partitions
+  // never mutate it mid-simulation.
   static Registry r;
   return r;
 }

@@ -29,6 +29,8 @@ namespace {
 // Which partition the current thread is executing (null on the coordinating
 // thread and in every serial simulation).  Plain thread-local state: set and
 // cleared by the engine around each partition step.
+// dqlint:allow(part-mutable-global): per-thread by construction; each worker
+// sees only its own partition pointer, so nothing is shared across them.
 thread_local PartitionState* t_state = nullptr;
 
 Duration base_delay(const Topology::Params& p, LinkClass c) {

@@ -1,13 +1,21 @@
 // dqlint CLI.
 //
-//   dqlint [--root=DIR] [--json=PATH] [--list-rules] [FILE...]
+//   dqlint [--root=DIR] [--json=PATH] [--list-rules] [--list-suppressions]
+//          [FILE...]
 //
-// Default mode walks `<root>/src` (root defaults to ".") over *.h/*.cpp in
-// sorted path order -- output is deterministic, like everything else here --
-// applying each rule's directory scope.  Explicit FILE arguments lint just
-// those files with every rule active (scope-free; used by fixture tooling).
+// Default mode walks `<root>/src` and `<root>/bench` (root defaults to ".")
+// over *.h/*.cpp in sorted path order -- output is deterministic, like
+// everything else here -- applying each rule's directory scope, then runs
+// the whole-program flow-*/cap-*/part-* passes over the full file set.
+// Explicit FILE arguments lint just those files with every rule active
+// (scope-free; used by fixture tooling) -- program rules still see the
+// whole given set, so a wire.h + wire.cpp pair can be checked in isolation.
 // `src/tools/` is excluded from the walk: the linter's own sources
 // necessarily spell out every forbidden identifier and the directive syntax.
+//
+// `--list-suppressions` prints every active dqlint:allow with its rule id,
+// location, and justification (the same table lands in the dq.lint.v1
+// JSON as "suppressions" + "suppression_summary").
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
 #include <algorithm>
@@ -27,7 +35,7 @@ namespace fs = std::filesystem;
 
 int usage() {
   std::cerr << "usage: dqlint [--root=DIR] [--json=PATH] [--list-rules]"
-               " [FILE...]\n";
+               " [--list-suppressions] [FILE...]\n";
   return 2;
 }
 
@@ -45,12 +53,34 @@ bool lintable(const fs::path& p) {
   return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
 }
 
+// Collect lintable files under `dir` (skipping any `tools` subdirectory),
+// appending (relative-path, absolute-path) pairs.
+void collect(const fs::path& dir, const std::string& root,
+             std::vector<std::pair<std::string, fs::path>>* out) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory() &&
+        it->path().filename() == "tools") {  // linter does not lint itself
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path())) {
+      out->emplace_back(fs::relative(it->path(), root).generic_string(),
+                        it->path());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_path;
   bool list_rules = false;
+  bool list_suppressions = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +91,8 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -87,19 +119,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  dq::lint::RunReport report;
+  std::vector<dq::lint::SourceFile> sources;
   std::string scanned_root;
+  bool apply_scopes = true;
 
   if (!files.empty()) {
     // Explicit-file mode: every rule active, paths reported as given.
     scanned_root = "<files>";
+    apply_scopes = false;
     for (const std::string& f : files) {
       std::string content;
       if (!read_file(f, &content)) {
         std::cerr << "dqlint: cannot read " << f << "\n";
         return 2;
       }
-      report.add(dq::lint::lint_source(f, content, /*apply_scopes=*/false));
+      sources.push_back({f, std::move(content)});
     }
   } else {
     scanned_root = root;
@@ -109,24 +143,9 @@ int main(int argc, char** argv) {
       std::cerr << "dqlint: no src/ directory under " << root << "\n";
       return 2;
     }
-    std::vector<fs::path> paths;
-    for (fs::recursive_directory_iterator it(src, ec), end; it != end;
-         it.increment(ec)) {
-      if (ec) break;
-      if (it->is_directory() &&
-          it->path().filename() == "tools") {  // linter does not lint itself
-        it.disable_recursion_pending();
-        continue;
-      }
-      if (it->is_regular_file() && lintable(it->path())) {
-        paths.push_back(it->path());
-      }
-    }
     std::vector<std::pair<std::string, fs::path>> rel;
-    rel.reserve(paths.size());
-    for (const fs::path& p : paths) {
-      rel.emplace_back(fs::relative(p, root).generic_string(), p);
-    }
+    collect(src, root, &rel);
+    collect(fs::path(root) / "bench", root, &rel);
     std::sort(rel.begin(), rel.end());
     for (const auto& [rpath, p] : rel) {
       std::string content;
@@ -134,9 +153,20 @@ int main(int argc, char** argv) {
         std::cerr << "dqlint: cannot read " << p << "\n";
         return 2;
       }
-      report.add(
-          dq::lint::lint_source(rpath, content, /*apply_scopes=*/true));
+      sources.push_back({rpath, std::move(content)});
     }
+  }
+
+  const dq::lint::RunReport report =
+      dq::lint::lint_program(sources, apply_scopes);
+
+  if (list_suppressions) {
+    for (const dq::lint::Suppression& s : report.suppressions) {
+      std::cout << s.file << ":" << s.line << ": " << s.rule << ": "
+                << s.justification << "\n";
+    }
+    std::cout << "dqlint: " << report.suppressions.size()
+              << " active suppressions\n";
   }
 
   for (const dq::lint::Diagnostic& d : report.diagnostics) {
@@ -153,8 +183,10 @@ int main(int argc, char** argv) {
     out << dq::lint::to_json(report, scanned_root) << "\n";
   }
 
-  std::cout << "dqlint: " << report.files_scanned << " files, "
-            << report.diagnostics.size() << " diagnostics, "
-            << report.suppressions.size() << " suppressions\n";
+  if (!list_suppressions) {
+    std::cout << "dqlint: " << report.files_scanned << " files, "
+              << report.diagnostics.size() << " diagnostics, "
+              << report.suppressions.size() << " suppressions\n";
+  }
   return report.clean() ? 0 : 1;
 }

@@ -1,0 +1,66 @@
+// dqlint layer 2: whole-program analysis over the parsed file set.
+//
+// run_program_rules() builds a cross-TU symbol graph -- payload structs and
+// the Payload variant from src/msg/wire.h, visitor overloads from wire.cpp,
+// protocol registry descriptors from src/workload/wiring.cpp with the
+// implementation closure reachable from each build function, and every
+// variable declaration's mutability -- and checks three rule families:
+//
+//   flow-*  message-flow conformance: every Payload alternative has wire.cpp
+//           name/size visitor overloads, at least one use site, and at least
+//           one handler dispatch; structs in wire.h that are neither variant
+//           alternatives nor referenced anywhere are dead.
+//   cap-*   capability-claim conformance: each registry descriptor's
+//           supports_wal / supports_crash_recovery / consistency_class must
+//           match what the protocol's implementation closure actually does.
+//   part-*  partition-ownership: mutable namespace-scope / class-static /
+//           function-local-static state in det-scoped code is shared across
+//           parallel_world partitions and must be flagged.
+//
+// Diagnostics come back raw (no rule descriptions appended, no scope or
+// suppression filtering) -- lint_program() in lint.cpp anchors them to their
+// file, applies RuleInfo scopes, and runs them through the normal
+// dqlint:allow machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/dqlint/lint.h"
+#include "tools/dqlint/parse.h"
+
+namespace dq::lint {
+
+// Rule ids, shared with the RuleInfo table in lint.cpp.
+inline constexpr char kRuleFlowUnregistered[] = "flow-unregistered";
+inline constexpr char kRuleFlowWireStub[] = "flow-wire-stub";
+inline constexpr char kRuleFlowDeadMessage[] = "flow-dead-message";
+inline constexpr char kRuleFlowUnhandledMessage[] = "flow-unhandled-message";
+inline constexpr char kRuleCapWalClaim[] = "cap-wal-claim";
+inline constexpr char kRuleCapRecoveryClaim[] = "cap-recovery-claim";
+inline constexpr char kRuleCapConsistencyLww[] = "cap-consistency-lww";
+inline constexpr char kRulePartMutableGlobal[] = "part-mutable-global";
+inline constexpr char kRulePartLocalStatic[] = "part-local-static";
+
+// One protocol registration extracted from src/workload/wiring.cpp:
+// `add("name", "display", {wal, crash, ConsistencyClass::kX}, ...build_y...)`.
+// Exposed for tests.
+struct RegistryDescriptor {
+  std::string name;
+  int line = 0;  // line of the add() call
+  bool supports_wal = false;
+  bool supports_crash_recovery = false;
+  std::string consistency;  // "kAtomic" / "kRegular" / "kEventual" / ""
+  std::vector<std::string> build_fns;
+};
+
+[[nodiscard]] std::vector<RegistryDescriptor> extract_registrations(
+    const ParsedFile& wiring);
+
+// Raw (pre-suppression, pre-scope) program-level diagnostics over the whole
+// parsed file set.  Messages carry no rule description; the caller appends
+// it.
+[[nodiscard]] std::vector<Diagnostic> run_program_rules(
+    const std::vector<ParsedFile>& files);
+
+}  // namespace dq::lint

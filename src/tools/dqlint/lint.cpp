@@ -1,180 +1,20 @@
 #include "tools/dqlint/lint.h"
 
 #include <algorithm>
-#include <array>
 #include <cctype>
 #include <cstddef>
+#include <map>
 #include <set>
 #include <string_view>
 #include <tuple>
 #include <utility>
 
+#include "tools/dqlint/graph.h"
+#include "tools/dqlint/parse.h"
+
 namespace dq::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer: C++ source -> token stream + comment list.  Comments and literal
-// contents are kept out of the token stream so rules never fire on prose;
-// comments are retained separately because they carry suppression
-// directives.
-// ---------------------------------------------------------------------------
-
-enum class Tok : std::uint8_t { kIdent, kNumber, kPunct, kString, kChar };
-
-struct Token {
-  Tok kind;
-  std::string text;  // literal tokens keep only a marker, not their contents
-  int line;
-};
-
-struct Comment {
-  int line;  // line the comment starts on
-  std::string text;
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  std::vector<Comment> comments;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Raw-string opener at position i ( (u8|u|U|L)?R" )?  Returns prefix length
-// up to and including the quote, or 0.
-std::size_t raw_string_prefix(std::string_view s, std::size_t i) {
-  for (std::string_view p : {"R\"", "u8R\"", "uR\"", "UR\"", "LR\""}) {
-    if (s.substr(i, p.size()) == p) return p.size();
-  }
-  return 0;
-}
-
-Lexed lex(const std::string& content) {
-  Lexed out;
-  const std::string_view s = content;
-  std::size_t i = 0;
-  int line = 1;
-
-  // Longest-match punctuation (3-char, then 2-char, then single).
-  static constexpr std::array<std::string_view, 5> kPunct3 = {
-      "<<=", ">>=", "<=>", "...", "->*"};
-  static constexpr std::array<std::string_view, 19> kPunct2 = {
-      "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
-      "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|="};
-
-  while (i < s.size()) {
-    const char c = s[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-      const std::size_t eol = s.find('\n', i);
-      const std::size_t end = eol == std::string_view::npos ? s.size() : eol;
-      out.comments.push_back({line, std::string(s.substr(i + 2, end - i - 2))});
-      i = end;
-      continue;
-    }
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-      const int start_line = line;
-      std::size_t j = i + 2;
-      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) {
-        if (s[j] == '\n') ++line;
-        ++j;
-      }
-      out.comments.push_back(
-          {start_line, std::string(s.substr(i + 2, j - i - 2))});
-      i = j + 2 <= s.size() ? j + 2 : s.size();
-      continue;
-    }
-    if (const std::size_t pfx = raw_string_prefix(s, i); pfx != 0) {
-      // R"delim( ... )delim"
-      std::size_t j = i + pfx;
-      std::string delim;
-      while (j < s.size() && s[j] != '(') delim += s[j++];
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = s.find(closer, j);
-      const std::size_t stop =
-          end == std::string_view::npos ? s.size() : end + closer.size();
-      out.tokens.push_back({Tok::kString, "\"\"", line});
-      for (std::size_t k = i; k < stop; ++k) {
-        if (s[k] == '\n') ++line;
-      }
-      i = stop;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < s.size() && s[j] != quote) {
-        if (s[j] == '\\' && j + 1 < s.size()) ++j;
-        if (s[j] == '\n') ++line;  // unterminated literals: keep line counts
-        ++j;
-      }
-      out.tokens.push_back(
-          {quote == '"' ? Tok::kString : Tok::kChar,
-           quote == '"' ? "\"\"" : "''", line});
-      i = j < s.size() ? j + 1 : s.size();
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < s.size() && ident_char(s[j])) ++j;
-      out.tokens.push_back({Tok::kIdent, std::string(s.substr(i, j - i)),
-                            line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      std::size_t j = i + 1;
-      while (j < s.size()) {
-        const char d = s[j];
-        if (ident_char(d) || d == '.' || d == '\'') {
-          ++j;
-        } else if ((d == '+' || d == '-') && j > i &&
-                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
-                    s[j - 1] == 'P')) {
-          ++j;  // exponent sign, e.g. 0x1.0p-53
-        } else {
-          break;
-        }
-      }
-      out.tokens.push_back({Tok::kNumber, std::string(s.substr(i, j - i)),
-                            line});
-      i = j;
-      continue;
-    }
-    // Punctuation, longest match first.
-    std::size_t len = 1;
-    for (std::string_view p : kPunct3) {
-      if (s.substr(i, 3) == p) {
-        len = 3;
-        break;
-      }
-    }
-    if (len == 1) {
-      for (std::string_view p : kPunct2) {
-        if (s.substr(i, 2) == p) {
-          len = 2;
-          break;
-        }
-      }
-    }
-    out.tokens.push_back({Tok::kPunct, std::string(s.substr(i, len)), line});
-    i += len;
-  }
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Rule table
@@ -184,6 +24,13 @@ Lexed lex(const std::string& content) {
 const std::vector<std::string> kDetScope = {
     "src/sim/", "src/core/", "src/protocols/",
     "src/quorum/", "src/rpc/", "src/store/", "src/msg/"};
+
+// det-* additionally covers bench/: benches emit checked-in dq.bench.v1
+// baselines, so they carry the same determinism guardrails (wall-clock use
+// for timing is the one sanctioned exception, justified per site).
+const std::vector<std::string> kDetBenchScope = {
+    "src/sim/", "src/core/", "src/protocols/", "src/quorum/",
+    "src/rpc/",  "src/store/", "src/msg/",      "bench/"};
 
 const char* kRuleDetUnordered = "det-unordered-container";
 const char* kRuleDetRand = "det-rand";
@@ -209,14 +56,14 @@ const std::vector<RuleInfo>& rules() {
        "std::unordered_* containers: iteration order is implementation-"
        "defined, so any walk puts hash order on the wire or in the schedule;"
        " use std::map/std::set",
-       kDetScope,
+       kDetBenchScope,
        {},
        {},
        {}},
       {kRuleDetRand,
        "libc rand/random family: unseeded global state outside the "
        "experiment seed; draw from dq::Rng",
-       kDetScope,
+       kDetBenchScope,
        {},
        {},
        {}},
@@ -224,14 +71,14 @@ const std::vector<RuleInfo>& rules() {
        "wall-clock read (time/clock/gettimeofday/system_clock/...): real "
        "time breaks simulation determinism; use sim::World::now() or "
        "local_now()",
-       kDetScope,
+       kDetBenchScope,
        {},
        {},
        {}},
       {kRuleDetRandomDevice,
        "std::random_device is non-deterministic by design; seed dq::Rng "
        "from the experiment seed",
-       kDetScope,
+       kDetBenchScope,
        {},
        {},
        {}},
@@ -239,14 +86,14 @@ const std::vector<RuleInfo>& rules() {
        "std <random> engine or unseeded Rng(): default seeding hides the "
        "stream from the experiment seed; all randomness flows through a "
        "seeded dq::Rng (split() for child streams)",
-       kDetScope,
+       kDetBenchScope,
        {},
        {},
        {}},
       {kRuleDetPtrKey,
        "pointer-keyed ordered container: iteration order follows allocation "
        "addresses, which differ run to run; key by a strong id instead",
-       kDetScope,
+       kDetBenchScope,
        {},
        {},
        {}},
@@ -304,6 +151,79 @@ const std::vector<RuleInfo>& rules() {
        "naked new/delete in protocol code; own memory with std::unique_ptr/"
        "std::make_shared",
        {"src/core/", "src/protocols/", "src/rpc/", "src/quorum/"},
+       {},
+       {},
+       {}},
+      {kRuleFlowUnregistered,
+       "struct in wire.h that is neither a Payload alternative nor "
+       "referenced anywhere: dead wire-format cargo; add it to the variant "
+       "or delete it",
+       {"src/msg/"},
+       {},
+       {},
+       {}},
+      {kRuleFlowWireStub,
+       "Payload alternative without both wire.cpp visitor overloads "
+       "(payload_name's NameOf and approximate_size's SizeOf): every "
+       "message type must carry its name and size accounting",
+       {"src/msg/"},
+       {},
+       {},
+       {}},
+      {kRuleFlowDeadMessage,
+       "Payload alternative never referenced outside the wire layer: no "
+       "protocol constructs or sends it; delete it or wire the sender",
+       {"src/msg/"},
+       {},
+       {},
+       {}},
+      {kRuleFlowUnhandledMessage,
+       "Payload alternative with no dispatch site (std::get_if/"
+       "holds_alternative/std::get/visitor overload): receivers drop it on "
+       "the floor; add a handler arm or justify why a typed dispatch is "
+       "unnecessary",
+       {"src/msg/"},
+       {},
+       {},
+       {}},
+      {kRuleCapWalClaim,
+       "registry supports_wal claim contradicts the implementation: the "
+       "protocol's closure must reference the store::Wal API exactly when "
+       "the descriptor says so",
+       {"src/workload/"},
+       {},
+       {},
+       {}},
+      {kRuleCapRecoveryClaim,
+       "registry supports_crash_recovery claim contradicts the build "
+       "function: add_crash_hook must be wired exactly when the descriptor "
+       "says so",
+       {"src/workload/"},
+       {},
+       {},
+       {}},
+      {kRuleCapConsistencyLww,
+       "protocol claiming an atomic/linearizable consistency class must not "
+       "use LWW/site-timestamp helpers (lamport_/lww): last-writer-wins "
+       "clocks admit stale reads",
+       {"src/workload/"},
+       {},
+       {},
+       {}},
+      {kRulePartMutableGlobal,
+       "mutable namespace-scope, thread_local, or class-static state in "
+       "det-scoped code: shared across parallel_world partitions, so any "
+       "access races the conservative engine; own it per-partition or "
+       "justify",
+       kDetScope,
+       {},
+       {},
+       {}},
+      {kRulePartLocalStatic,
+       "function-local mutable static in det-scoped code: hidden state "
+       "shared across parallel_world partitions; hoist it into per-"
+       "partition context or justify",
+       kDetScope,
        {},
        {},
        {}},
@@ -690,13 +610,12 @@ std::vector<Directive> parse_directives(const std::string& path,
   return out;
 }
 
-}  // namespace
-
-FileReport lint_source(const std::string& path, const std::string& content,
-                       bool apply_scopes) {
+// Match raw diagnostics against this file's dqlint:allow directives and
+// produce the final per-file report (shared by lint_source and
+// lint_program).
+FileReport finish_file(const std::string& path, const Lexed& lexed,
+                       std::vector<Diagnostic> raw, bool apply_scopes) {
   FileReport fr;
-  const Lexed lexed = lex(content);
-  std::vector<Diagnostic> raw = run_rules(path, lexed.tokens, apply_scopes);
   std::vector<Directive> directives =
       parse_directives(path, lexed.comments, &fr.diagnostics);
 
@@ -705,8 +624,6 @@ FileReport lint_source(const std::string& path, const std::string& content,
   // below it).
   std::set<int> code_lines;
   for (const Token& t : lexed.tokens) code_lines.insert(t.line);
-  std::set<int> comment_lines;
-  for (const Comment& c : lexed.comments) comment_lines.insert(c.line);
   auto covers = [&](const Directive& d, int line) {
     if (line == d.line) return true;
     auto it = code_lines.upper_bound(d.line);
@@ -769,6 +686,46 @@ FileReport lint_source(const std::string& path, const std::string& content,
                      std::tie(b.file, b.line, b.rule);
             });
   return fr;
+}
+
+}  // namespace
+
+FileReport lint_source(const std::string& path, const std::string& content,
+                       bool apply_scopes) {
+  const Lexed lexed = lex(content);
+  return finish_file(path, lexed, run_rules(path, lexed.tokens, apply_scopes),
+                     apply_scopes);
+}
+
+RunReport lint_program(const std::vector<SourceFile>& files,
+                       bool apply_scopes) {
+  RunReport run;
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const SourceFile& f : files) {
+    parsed.push_back(parse_file(f.path, f.content));
+  }
+
+  // Program-level diagnostics, scope-filtered by their anchor file and
+  // grouped so each file's dqlint:allow directives can cover them.
+  std::map<std::string, std::vector<Diagnostic>> prog_by_file;
+  for (Diagnostic& d : run_program_rules(parsed)) {
+    const RuleInfo* r = find_rule(d.rule.c_str());
+    if (r == nullptr || !rule_active(*r, d.file, apply_scopes)) continue;
+    d.message += " [" + r->description + "]";
+    prog_by_file[d.file].push_back(std::move(d));
+  }
+
+  for (const ParsedFile& pf : parsed) {
+    std::vector<Diagnostic> raw =
+        run_rules(pf.path, pf.lexed.tokens, apply_scopes);
+    const auto it = prog_by_file.find(pf.path);
+    if (it != prog_by_file.end()) {
+      raw.insert(raw.end(), it->second.begin(), it->second.end());
+    }
+    run.add(finish_file(pf.path, pf.lexed, std::move(raw), apply_scopes));
+  }
+  return run;
 }
 
 // ---------------------------------------------------------------------------
@@ -837,6 +794,20 @@ std::string to_json(const RunReport& report, const std::string& root) {
     out += "{\"file\":\"" + esc(s.file) + "\",\"line\":" +
            std::to_string(s.line) + ",\"rule\":\"" + esc(s.rule) +
            "\",\"justification\":\"" + esc(s.justification) + "\"}";
+  }
+  out += "]";
+
+  // Per-rule suppression totals, so suppression creep is reviewable at a
+  // glance (also the table behind `dqlint --list-suppressions`).
+  std::map<std::string, std::size_t> summary;
+  for (const Suppression& s : report.suppressions) ++summary[s.rule];
+  out += ",\"suppression_summary\":[";
+  first = true;
+  for (const auto& [rule, count] : summary) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"rule\":\"" + esc(rule) +
+           "\",\"count\":" + std::to_string(count) + "}";
   }
   out += "]}";
   return out;

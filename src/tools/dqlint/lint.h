@@ -4,9 +4,15 @@
 // of its seed, bit-for-bit -- and DQVL's regular semantics are properties no
 // unit test can defend against future edits: one `unordered_map` walk or one
 // `std::rand()` call in a protocol file silently breaks them.  dqlint is the
-// guardrail: a token-level analyzer (comments and string literals stripped,
-// so prose mentioning `rand()` never fires) that enforces three rule
-// families over the source tree:
+// guardrail.  It has two layers:
+//
+//   * a token-level analyzer (comments and string literals stripped, so
+//     prose mentioning `rand()` never fires) that enforces per-file rules;
+//   * a declaration-level parser + cross-TU symbol graph (parse.{h,cpp},
+//     graph.{h,cpp}) that enforces whole-program rules over every scanned
+//     source at once.
+//
+// Six rule families:
 //
 //   det-*    determinism: no hash-ordered container state, no wall clocks,
 //            no libc/std randomness, no pointer-keyed ordering.
@@ -15,6 +21,16 @@
 //            are never read in decision paths.
 //   hyg-*    hygiene: DQ_INVARIANT instead of assert(), no naked new/delete
 //            in protocol code.
+//   flow-*   message-flow conformance (program-level): every Payload
+//            alternative in src/msg/wire.h has wire.cpp visitor wiring, a
+//            send site, and a handler dispatch.
+//   cap-*    capability-claim conformance (program-level): each protocol's
+//            registry descriptor (supports_wal / supports_crash_recovery /
+//            consistency_class) matches its implementation closure.
+//   part-*   partition-ownership (program-level): no mutable namespace-
+//            scope / class-static / function-local-static state in det-
+//            scoped code, since such state is shared across parallel_world
+//            partitions.
 //
 // Every rule is scoped to the directories where its property matters (see
 // rules() below) and can be suppressed per-site with a justified comment:
@@ -27,9 +43,10 @@
 //
 // The library half (this header + lint.cpp) is what tests/dqlint_test.cpp
 // exercises against the fixture corpus; dqlint.cpp wraps it in a CLI that
-// walks `<root>/src`, prints `file:line: rule-id: message` diagnostics, and
-// emits a `dq.lint.v1` JSON report next to the existing `dq.report.v1` /
-// `dq.bench.v1` envelopes (validated by tools/check_metrics_schema.py).
+// walks `<root>/src` and `<root>/bench`, prints `file:line: rule-id:
+// message` diagnostics, and emits a `dq.lint.v1` JSON report next to the
+// existing `dq.report.v1` / `dq.bench.v1` envelopes (validated by
+// tools/check_metrics_schema.py).
 #pragma once
 
 #include <cstddef>
@@ -56,7 +73,8 @@ struct RuleInfo {
   std::string id;
   std::string description;
   // Path prefixes (relative to the scan root, '/'-separated) the rule
-  // applies to; empty = every scanned file.
+  // applies to; empty = every scanned file.  Program-level rules are
+  // filtered by the file each diagnostic anchors to.
   std::vector<std::string> prefixes;
   // Path prefixes exempt from the rule even when a `prefixes` entry (or an
   // empty-prefix "everywhere" scope) matches -- e.g. the one directory
@@ -83,10 +101,11 @@ struct FileReport {
   std::vector<Suppression> suppressions;  // violations silenced with a reason
 };
 
-// Lint one source text.  `path` is used both for reporting and -- when
-// `apply_scopes` is true -- for matching rule prefixes, so pass it relative
-// to the scan root ('/'-separated).  With `apply_scopes` false every rule
-// runs regardless of location (fixture/test mode).
+// Lint one source text with the per-file (token-level) rules only.  `path`
+// is used both for reporting and -- when `apply_scopes` is true -- for
+// matching rule prefixes, so pass it relative to the scan root
+// ('/'-separated).  With `apply_scopes` false every rule runs regardless of
+// location (fixture/test mode).
 [[nodiscard]] FileReport lint_source(const std::string& path,
                                      const std::string& content,
                                      bool apply_scopes);
@@ -106,6 +125,20 @@ struct RunReport {
   }
   [[nodiscard]] bool clean() const { return diagnostics.empty(); }
 };
+
+// One source in a whole-program run.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// Lint a whole program: the per-file token rules on every file, plus the
+// program-level flow-*/cap-*/part-* rules over the cross-TU symbol graph.
+// Program diagnostics anchor to a file (wire.h struct, wiring.cpp
+// registration, variable declaration) and go through the same scope and
+// dqlint:allow machinery as per-file diagnostics.
+[[nodiscard]] RunReport lint_program(const std::vector<SourceFile>& files,
+                                     bool apply_scopes);
 
 // The dq.lint.v1 JSON document (no trailing newline).  `root` names what
 // was scanned (a directory or "<files>" for explicit-file runs).

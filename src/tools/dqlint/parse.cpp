@@ -1,0 +1,891 @@
+#include "tools/dqlint/parse.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string_view>
+
+namespace dq::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Raw-string opener at position i ( (u8|u|U|L)?R" )?  Returns prefix length
+// up to and including the quote, or 0.
+std::size_t raw_string_prefix(std::string_view s, std::size_t i) {
+  for (std::string_view p : {"R\"", "u8R\"", "uR\"", "UR\"", "LR\""}) {
+    if (s.substr(i, p.size()) == p) return p.size();
+  }
+  return 0;
+}
+
+}  // namespace
+
+Lexed lex(const std::string& content) {
+  Lexed out;
+  const std::string_view s = content;
+  std::size_t i = 0;
+  int line = 1;
+
+  // Longest-match punctuation (3-char, then 2-char, then single).
+  static constexpr std::array<std::string_view, 5> kPunct3 = {
+      "<<=", ">>=", "<=>", "...", "->*"};
+  static constexpr std::array<std::string_view, 19> kPunct2 = {
+      "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+      "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|="};
+
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const std::size_t eol = s.find('\n', i);
+      const std::size_t end = eol == std::string_view::npos ? s.size() : eol;
+      out.comments.push_back({line, std::string(s.substr(i + 2, end - i - 2))});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back(
+          {start_line, std::string(s.substr(i + 2, j - i - 2))});
+      i = j + 2 <= s.size() ? j + 2 : s.size();
+      continue;
+    }
+    if (const std::size_t pfx = raw_string_prefix(s, i); pfx != 0) {
+      // R"delim( ... )delim"
+      std::size_t j = i + pfx;
+      std::string delim;
+      while (j < s.size() && s[j] != '(') delim += s[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = s.find(closer, j);
+      const std::size_t stop =
+          end == std::string_view::npos ? s.size() : end + closer.size();
+      const std::size_t body =
+          end == std::string_view::npos ? s.size() : end;
+      out.tokens.push_back({Tok::kString, "\"\"", line,
+                            std::string(s.substr(j + 1, body - j - 1))});
+      for (std::size_t k = i; k < stop; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < s.size()) ++j;
+        if (s[j] == '\n') ++line;  // unterminated literals: keep line counts
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? Tok::kString : Tok::kChar,
+           quote == '"' ? "\"\"" : "''", line,
+           quote == '"' ? std::string(s.substr(i + 1, j - i - 1))
+                        : std::string()});
+      i = j < s.size() ? j + 1 : s.size();
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      out.tokens.push_back(
+          {Tok::kIdent, std::string(s.substr(i, j - i)), line, {}});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < s.size()) {
+        const char d = s[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                    s[j - 1] == 'P')) {
+          ++j;  // exponent sign, e.g. 0x1.0p-53
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          {Tok::kNumber, std::string(s.substr(i, j - i)), line, {}});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::size_t len = 1;
+    for (std::string_view p : kPunct3) {
+      if (s.substr(i, 3) == p) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (std::string_view p : kPunct2) {
+        if (s.substr(i, 2) == p) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back(
+        {Tok::kPunct, std::string(s.substr(i, len)), line, {}});
+    i += len;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Identifiers that can appear in a declaration but are never its name.
+const std::set<std::string_view>& decl_keywords() {
+  static const std::set<std::string_view> kw = {
+      "const",    "constexpr", "constinit", "consteval", "static",
+      "inline",   "extern",    "mutable",   "volatile",  "thread_local",
+      "virtual",  "explicit",  "typename",  "struct",    "class",
+      "enum",     "union",     "unsigned",  "signed",    "long",
+      "short",    "int",       "char",      "bool",      "float",
+      "double",   "void",      "auto",      "noexcept",  "override",
+      "final",    "operator",  "friend",    "register",  "decltype",
+      "typedef",  "using",     "namespace", "template",  "return",
+      "sizeof",   "alignof",   "alignas",   "new",       "delete",
+      "default",  "true",      "false",     "nullptr",   "this",
+      "wchar_t",  "char8_t",   "char16_t",  "char32_t"};
+  return kw;
+}
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& t, ParsedFile* out) : t_(t), out_(out) {}
+
+  void run() {
+    while (i_ < t_.size()) {
+      const std::size_t before = i_;
+      step();
+      if (i_ <= before) i_ = before + 1;  // never stall on unexpected shapes
+    }
+    // Unbalanced input: leave any still-open bodies with body_end = -1.
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kGlobal, kNamespace, kClass, kEnum, kFunction, kBlock };
+    Kind kind;
+    std::string name;     // component added to the scope string
+    int decl_index = -1;  // decl whose body_end is filled when this pops
+  };
+
+  const std::vector<Token>& t_;
+  ParsedFile* out_;
+  std::size_t i_ = 0;
+  std::vector<Scope> scopes_{{Scope::kGlobal, "", -1}};
+
+  [[nodiscard]] const Token* at(std::size_t i) const {
+    return i < t_.size() ? &t_[i] : nullptr;
+  }
+  [[nodiscard]] bool text_is(std::size_t i, std::string_view s) const {
+    const Token* tok = at(i);
+    return tok != nullptr && tok->text == s;
+  }
+  [[nodiscard]] bool ident_is(std::size_t i, std::string_view s) const {
+    const Token* tok = at(i);
+    return tok != nullptr && tok->kind == Tok::kIdent && tok->text == s;
+  }
+
+  [[nodiscard]] std::string current_scope() const {
+    std::string s;
+    for (const Scope& sc : scopes_) {
+      if (sc.name.empty()) continue;
+      if (!s.empty()) s += "::";
+      s += sc.name;
+    }
+    return s;
+  }
+
+  [[nodiscard]] bool in_class() const {
+    return scopes_.back().kind == Scope::kClass;
+  }
+
+  int record(Decl d) {
+    out_->decls.push_back(std::move(d));
+    return static_cast<int>(out_->decls.size()) - 1;
+  }
+
+  void pop_scope() {
+    if (scopes_.size() <= 1) return;  // stray '}' in malformed input
+    const Scope sc = scopes_.back();
+    scopes_.pop_back();
+    if (sc.decl_index >= 0) {
+      out_->decls[static_cast<std::size_t>(sc.decl_index)].body_end =
+          static_cast<int>(i_);
+    }
+  }
+
+  // A preprocessor directive runs to end of line, following backslash
+  // continuations (common/assert.h defines multi-line macros).
+  void skip_preprocessor() {
+    int line = t_[i_].line;
+    ++i_;
+    while (i_ < t_.size()) {
+      if (t_[i_].line != line) {
+        const Token& prev = t_[i_ - 1];
+        if (prev.kind == Tok::kPunct && prev.text == "\\") {
+          line = t_[i_].line;
+        } else {
+          break;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  // i_ is at `open`; advance past the matching `close`.
+  void skip_group(std::string_view open, std::string_view close) {
+    int depth = 0;
+    while (i_ < t_.size()) {
+      const std::string& p = t_[i_].text;
+      if (t_[i_].kind == Tok::kPunct) {
+        if (p == open) ++depth;
+        if (p == close && --depth == 0) {
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  // Non-consuming variant: returns the index just past the group opened at j.
+  [[nodiscard]] std::size_t group_end(std::size_t j, std::string_view open,
+                                      std::string_view close) const {
+    int depth = 0;
+    while (j < t_.size()) {
+      const std::string& p = t_[j].text;
+      if (t_[j].kind == Tok::kPunct) {
+        if (p == open) ++depth;
+        if (p == close && --depth == 0) return j + 1;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  // Advance past the next top-level ';' (tracking ()/{}/[] balance so a
+  // lambda body's semicolons inside an initializer do not terminate early).
+  void skip_statement() {
+    int paren = 0;
+    int brace = 0;
+    int bracket = 0;
+    while (i_ < t_.size()) {
+      const Token& tok = t_[i_];
+      if (tok.kind == Tok::kPunct) {
+        const std::string& p = tok.text;
+        if (p == "(") ++paren;
+        if (p == ")") --paren;
+        if (p == "{") ++brace;
+        if (p == "}") {
+          if (brace == 0) return;  // statement ran into the enclosing '}'
+          --brace;
+        }
+        if (p == "[") ++bracket;
+        if (p == "]") --bracket;
+        if (p == ";" && paren == 0 && brace == 0 && bracket == 0) {
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  void skip_attribute() {  // i_ at the first '[' of '[['
+    ++i_;
+    skip_group("[", "]");
+  }
+
+  void skip_template_header() {  // i_ at 'template'
+    ++i_;
+    if (!text_is(i_, "<")) return;
+    int depth = 0;
+    int paren = 0;
+    while (i_ < t_.size()) {
+      const std::string& p = t_[i_].text;
+      if (t_[i_].kind == Tok::kPunct) {
+        if (p == "(") ++paren;
+        if (p == ")") --paren;
+        if (paren == 0) {
+          if (p == "<") ++depth;
+          if (p == ">") --depth;
+          if (p == ">>") depth -= 2;
+          if (depth <= 0 && (p == ">" || p == ">>")) {
+            ++i_;
+            return;
+          }
+        }
+      }
+      ++i_;
+    }
+  }
+
+  void step() {
+    const Token& tok = t_[i_];
+    if (tok.kind == Tok::kPunct && tok.text == "#") {
+      skip_preprocessor();
+      return;
+    }
+    if (tok.kind == Tok::kPunct && tok.text == "}") {
+      pop_scope();
+      ++i_;
+      return;
+    }
+    switch (scopes_.back().kind) {
+      case Scope::kGlobal:
+      case Scope::kNamespace:
+      case Scope::kClass:
+        parse_declaration();
+        break;
+      case Scope::kFunction:
+      case Scope::kBlock:
+        function_body_token();
+        break;
+      case Scope::kEnum:
+        if (tok.kind == Tok::kPunct && tok.text == "{") {
+          scopes_.push_back({Scope::kBlock, "", -1});
+        }
+        ++i_;
+        break;
+    }
+  }
+
+  void function_body_token() {
+    const Token& tok = t_[i_];
+    if (tok.kind == Tok::kPunct && tok.text == "{") {
+      scopes_.push_back({Scope::kBlock, "", -1});
+      ++i_;
+      return;
+    }
+    if (tok.kind == Tok::kIdent && tok.text == "static") {
+      parse_local_static();
+      return;
+    }
+    ++i_;
+  }
+
+  // `static ...;` inside a function body: record the variable (the part-*
+  // rules care about exactly these).  Function-local `static` can only start
+  // a declaration, so no disambiguation needed.
+  void parse_local_static() {
+    Decl d;
+    d.kind = DeclKind::kVariable;
+    d.line = t_[i_].line;
+    d.scope = current_scope();
+    d.is_static = true;
+    d.is_function_local = true;
+    ++i_;
+    int paren = 0;
+    int brace = 0;
+    int angle = 0;
+    std::string name;
+    bool terminated = false;
+    while (i_ < t_.size()) {
+      const Token& tok = t_[i_];
+      if (tok.kind == Tok::kPunct) {
+        const std::string& p = tok.text;
+        if (paren == 0 && brace == 0) {
+          if (p == ";") {
+            ++i_;
+            break;
+          }
+          if ((p == "=" || p == "{") && !terminated) terminated = true;
+          if (p == "<") ++angle;
+          if (p == ">" && angle > 0) --angle;
+          if (p == ">>") angle = std::max(0, angle - 2);
+        }
+        if (p == "(") ++paren;
+        if (p == ")") --paren;
+        if (p == "{") ++brace;
+        if (p == "}") --brace;
+      } else if (tok.kind == Tok::kIdent && !terminated && paren == 0 &&
+                 brace == 0 && angle == 0) {
+        if (tok.text == "const" || tok.text == "constexpr") {
+          d.is_const = true;
+        } else if (tok.text == "thread_local") {
+          d.is_thread_local = true;
+        } else if (decl_keywords().count(tok.text) == 0) {
+          name = tok.text;
+        }
+      }
+      ++i_;
+    }
+    d.name = name;
+    if (!d.name.empty()) record(std::move(d));
+  }
+
+  void parse_declaration() {
+    const Token& tok = t_[i_];
+    if (tok.kind == Tok::kPunct) {
+      if (tok.text == "{") {  // stray block at namespace scope
+        scopes_.push_back({Scope::kBlock, "", -1});
+      }
+      ++i_;
+      return;
+    }
+    if (tok.kind != Tok::kIdent) {
+      ++i_;
+      return;
+    }
+    const std::string& w = tok.text;
+    if (w == "namespace") {
+      parse_namespace();
+      return;
+    }
+    if (w == "template") {
+      skip_template_header();
+      return;
+    }
+    if (w == "using" || w == "typedef") {
+      parse_alias();
+      return;
+    }
+    if ((w == "public" || w == "private" || w == "protected") &&
+        text_is(i_ + 1, ":")) {
+      i_ += 2;
+      return;
+    }
+    if (w == "extern" && at(i_ + 1) != nullptr &&
+        t_[i_ + 1].kind == Tok::kString) {
+      if (text_is(i_ + 2, "{")) {  // extern "C" { ... }
+        scopes_.push_back({Scope::kNamespace, "", -1});
+        i_ += 3;
+      } else {
+        skip_statement();
+      }
+      return;
+    }
+    if (w == "enum") {
+      parse_enum();
+      return;
+    }
+    if (w == "class" || w == "struct" || w == "union") {
+      parse_class(w);
+      return;
+    }
+    if (w == "static_assert") {
+      skip_statement();
+      return;
+    }
+    parse_general_declaration();
+  }
+
+  void parse_namespace() {
+    ++i_;
+    std::string name;
+    while (i_ < t_.size()) {
+      const Token& tok = t_[i_];
+      if (tok.kind == Tok::kIdent) {
+        if (tok.text == "inline") {
+          ++i_;
+          continue;
+        }
+        name += tok.text;
+        ++i_;
+        continue;
+      }
+      if (tok.kind == Tok::kPunct && tok.text == "::") {
+        name += "::";
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    if (text_is(i_, "=")) {  // namespace alias
+      skip_statement();
+      return;
+    }
+    if (text_is(i_, "{")) {
+      Decl d;
+      d.kind = DeclKind::kNamespace;
+      d.name = name;
+      d.scope = current_scope();
+      d.line = t_[i_].line;
+      d.body_begin = static_cast<int>(i_);
+      const int idx = record(std::move(d));
+      scopes_.push_back({Scope::kNamespace, name, idx});
+      ++i_;
+      return;
+    }
+    skip_statement();
+  }
+
+  void parse_alias() {
+    Decl d;
+    d.kind = DeclKind::kAlias;
+    d.line = t_[i_].line;
+    d.scope = current_scope();
+    d.is_member = in_class();
+    ++i_;
+    if (ident_is(i_, "namespace")) {  // using namespace ...;
+      skip_statement();
+      return;
+    }
+    if (at(i_) != nullptr && t_[i_].kind == Tok::kIdent &&
+        text_is(i_ + 1, "=")) {
+      d.name = t_[i_].text;  // using X = ...;
+      record(std::move(d));
+    }
+    skip_statement();
+  }
+
+  void parse_enum() {
+    Decl d;
+    d.kind = DeclKind::kEnum;
+    d.line = t_[i_].line;
+    d.scope = current_scope();
+    d.is_member = in_class();
+    ++i_;
+    if (ident_is(i_, "class") || ident_is(i_, "struct")) ++i_;
+    if (at(i_) != nullptr && t_[i_].kind == Tok::kIdent) {
+      d.name = t_[i_].text;
+      ++i_;
+    }
+    while (i_ < t_.size()) {
+      const Token& tok = t_[i_];
+      if (tok.kind == Tok::kPunct) {
+        if (tok.text == ";") {
+          d.is_forward = true;
+          record(std::move(d));
+          ++i_;
+          return;
+        }
+        if (tok.text == "{") {
+          d.body_begin = static_cast<int>(i_);
+          const int idx = record(std::move(d));
+          scopes_.push_back({Scope::kEnum, "", idx});
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  void parse_class(const std::string& keyword) {
+    Decl d;
+    d.kind = DeclKind::kClass;
+    d.line = t_[i_].line;
+    d.scope = current_scope();
+    d.is_member = in_class();
+    ++i_;
+    while (text_is(i_, "[") && text_is(i_ + 1, "[")) skip_attribute();
+    if (ident_is(i_, "alignas") && text_is(i_ + 1, "(")) {
+      ++i_;
+      skip_group("(", ")");
+    }
+    if (at(i_) != nullptr && t_[i_].kind == Tok::kIdent &&
+        t_[i_].text != "final") {
+      d.name = t_[i_].text;
+      ++i_;
+    }
+    (void)keyword;
+    // Scan the class head (possible base list) for the body / terminator.
+    while (i_ < t_.size()) {
+      const Token& tok = t_[i_];
+      if (tok.kind == Tok::kPunct) {
+        if (tok.text == ";") {
+          d.is_forward = true;
+          record(std::move(d));
+          ++i_;
+          return;
+        }
+        if (tok.text == "{") {
+          d.body_begin = static_cast<int>(i_);
+          const std::string name = d.name;
+          const int idx = record(std::move(d));
+          scopes_.push_back({Scope::kClass, name, idx});
+          ++i_;
+          return;
+        }
+        if (tok.text == "(" || tok.text == "=") {
+          // Elaborated type in some other declaration (`struct tm t = ...`):
+          // not a class definition; give up on this statement.
+          skip_statement();
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  // Anything else at namespace/class scope: a function or variable
+  // declaration.  One pass classifies the statement by token shape.
+  void parse_general_declaration() {
+    Decl d;
+    d.line = t_[i_].line;
+    d.scope = current_scope();
+    d.is_member = in_class();
+
+    std::size_t j = i_;
+    int angle = 0;
+    bool after_params = false;
+    std::string cand;       // variable-name candidate (last top-level ident)
+    std::string fn_name;    // ident immediately before a '(' param list
+    std::string fn_owner;   // `X` in `X::fn(...)`
+    bool prev_was_name = false;
+
+    enum class Term { kEof, kSemi, kBody, kInit, kAssign };
+    Term term = Term::kEof;
+
+    while (j < t_.size()) {
+      const Token& tok = t_[j];
+      if (tok.kind == Tok::kPunct) {
+        const std::string& p = tok.text;
+        if (p == ";") {
+          term = Term::kSemi;
+          break;
+        }
+        if (p == "}") {
+          term = Term::kEof;  // ran into the enclosing scope's close
+          break;
+        }
+        if (p == "{") {
+          term = after_params ? Term::kBody : Term::kInit;
+          break;
+        }
+        if (p == "(") {
+          if (!after_params && prev_was_name && !fn_name.empty()) {
+            after_params = true;  // `name(...)`: a parameter list
+          }
+          j = group_end(j, "(", ")");
+          prev_was_name = false;
+          continue;
+        }
+        if (p == "[") {
+          if (text_is(j + 1, "[")) {
+            j = group_end(j + 1, "[", "]");  // attribute
+          } else {
+            j = group_end(j, "[", "]");  // array extent
+          }
+          prev_was_name = false;
+          continue;
+        }
+        if (p == "=") {
+          term = after_params ? Term::kSemi : Term::kAssign;
+          if (after_params) {
+            // `= default/delete/0;` -- function with no real body here.
+            d.is_forward = true;
+          }
+          break;
+        }
+        if (p == ":" && !text_is(j + 1, ":") && after_params) {
+          term = Term::kBody;  // ctor-init list precedes the body
+          break;
+        }
+        if (p == "<") ++angle;
+        if (p == ">" && angle > 0) --angle;
+        if (p == ">>") angle = std::max(0, angle - 2);
+        prev_was_name = false;
+        ++j;
+        continue;
+      }
+      if (tok.kind == Tok::kIdent) {
+        const std::string& w = tok.text;
+        if (w == "const" || w == "constexpr" || w == "constinit") {
+          d.is_const = true;
+        } else if (w == "static") {
+          d.is_static = true;
+        } else if (w == "thread_local") {
+          d.is_thread_local = true;
+        } else if (w == "operator" && !after_params) {
+          // `operator<symbol>(` -- glue the symbol tokens into the name.
+          std::string sym;
+          std::size_t k = j + 1;
+          if (text_is(k, "(") && text_is(k + 1, ")")) {
+            sym = "()";
+            k += 2;
+          } else if (text_is(k, "[") && text_is(k + 1, "]")) {
+            sym = "[]";
+            k += 2;
+          } else {
+            while (k < t_.size() && !(t_[k].kind == Tok::kPunct &&
+                                      t_[k].text == "(")) {
+              sym += t_[k].text;
+              ++k;
+              if (sym.size() > 24) break;  // malformed; stop gluing
+            }
+          }
+          fn_name = "operator" + sym;
+          cand = fn_name;
+          prev_was_name = true;
+          j = k;
+          continue;
+        } else if (angle == 0 && !after_params &&
+                   decl_keywords().count(w) == 0) {
+          cand = w;
+          fn_name = w;
+          if (j >= 2 && t_[j - 1].kind == Tok::kPunct &&
+              t_[j - 1].text == "::" && t_[j - 2].kind == Tok::kIdent) {
+            fn_owner = t_[j - 2].text;
+          } else {
+            fn_owner.clear();
+          }
+          prev_was_name = true;
+          ++j;
+          continue;
+        }
+        prev_was_name = false;
+        ++j;
+        continue;
+      }
+      prev_was_name = false;
+      ++j;
+    }
+
+    if (term == Term::kEof) {
+      i_ = j;  // let step() handle the '}' (or end of input)
+      return;
+    }
+
+    if (after_params) {
+      d.kind = DeclKind::kFunction;
+      d.name = fn_name;
+      d.owner = fn_owner;
+      if (term == Term::kBody) {
+        // Skip a ctor-init list if present: `: member(expr), member{expr} {`.
+        i_ = j;
+        if (text_is(i_, ":")) {
+          ++i_;
+          while (i_ < t_.size()) {
+            // member name (possibly qualified/templated)
+            while (i_ < t_.size() && !(t_[i_].kind == Tok::kPunct &&
+                                       (t_[i_].text == "(" ||
+                                        t_[i_].text == "{"))) {
+              if (t_[i_].kind == Tok::kPunct &&
+                  (t_[i_].text == ";" || t_[i_].text == "}")) {
+                // malformed; bail
+                return;
+              }
+              ++i_;
+            }
+            if (i_ >= t_.size()) return;
+            skip_group(t_[i_].text, t_[i_].text == "(" ? ")" : "}");
+            if (text_is(i_, ",")) {
+              ++i_;
+              continue;
+            }
+            break;
+          }
+        }
+        if (!text_is(i_, "{")) {
+          // No body after all (e.g. trailing macro); treat as a prototype.
+          d.is_forward = true;
+          record(std::move(d));
+          skip_statement();
+          return;
+        }
+        d.body_begin = static_cast<int>(i_);
+        const int idx = record(std::move(d));
+        scopes_.push_back({Scope::kFunction, "", idx});
+        ++i_;
+        return;
+      }
+      d.is_forward = true;
+      record(std::move(d));
+      i_ = j;
+      skip_statement();
+      return;
+    }
+
+    // Variable (or alias-free typedef-ish shape we treat as one).
+    d.kind = DeclKind::kVariable;
+    d.name = cand;
+    if (term == Term::kInit) {
+      i_ = j;
+      skip_group("{", "}");
+      if (text_is(i_, ";")) ++i_;
+    } else {
+      i_ = j;
+      skip_statement();
+    }
+    if (!d.name.empty()) record(std::move(d));
+  }
+};
+
+// Trim helper for the include scan.
+std::string_view ltrim(std::string_view v) {
+  while (!v.empty() &&
+         std::isspace(static_cast<unsigned char>(v.front())) != 0) {
+    v.remove_prefix(1);
+  }
+  return v;
+}
+
+std::vector<IncludeEdge> scan_includes(const std::string& content) {
+  std::vector<IncludeEdge> out;
+  std::size_t pos = 0;
+  int line = 1;
+  const std::string_view s = content;
+  while (pos <= s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    std::string_view ln =
+        s.substr(pos, eol == std::string_view::npos ? s.size() - pos
+                                                    : eol - pos);
+    ln = ltrim(ln);
+    if (!ln.empty() && ln.front() == '#') {
+      ln = ltrim(ln.substr(1));
+      if (ln.rfind("include", 0) == 0) {
+        ln = ltrim(ln.substr(7));
+        if (!ln.empty() && (ln.front() == '"' || ln.front() == '<')) {
+          const char close = ln.front() == '"' ? '"' : '>';
+          const std::size_t end = ln.find(close, 1);
+          if (end != std::string_view::npos) {
+            out.push_back({std::string(ln.substr(1, end - 1)), line,
+                           ln.front() == '<'});
+          }
+        }
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+}  // namespace
+
+ParsedFile parse_file(const std::string& path, const std::string& content) {
+  ParsedFile out;
+  out.path = path;
+  out.lexed = lex(content);
+  out.includes = scan_includes(content);
+  Parser(out.lexed.tokens, &out).run();
+  return out;
+}
+
+}  // namespace dq::lint

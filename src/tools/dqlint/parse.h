@@ -1,0 +1,94 @@
+// dqlint layer 1: lexer + declaration-level parser.
+//
+// The lexer turns one C++ source into a token stream (comments and literal
+// contents kept out of the stream so rules never fire on prose; comments are
+// retained separately because they carry suppression directives).  The
+// parser on top extracts *declarations only* -- namespaces, classes,
+// functions (with their `{...}` body token ranges), variables with their
+// static/const/thread_local qualifiers, and `#include` edges.  It is
+// deliberately not a C++ grammar: it tracks a scope stack by brace
+// balancing and classifies one statement at a time with token-shape
+// heuristics, which is enough for the cross-TU analyses in graph.{h,cpp}
+// (message-flow, capability-claim, partition-ownership) while keeping the
+// tool dependency-free and fast enough for every ctest invocation.
+//
+// Known, accepted imprecision (documented in docs/STATIC_ANALYSIS.md):
+// pointer-to-const globals (`const char* p`) count as const, parenthesized
+// declarators (`int (*fp)(int)`) are skipped, and local classes inside
+// function bodies are not descended into.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dq::lint {
+
+enum class Tok : std::uint8_t { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  Tok kind;
+  std::string text;  // literal tokens keep only a marker, not their contents
+  int line;
+  // kString only: the literal's contents (needed by the registry-descriptor
+  // extraction, which must read protocol names out of `add("dqvl", ...)`).
+  std::string literal;
+};
+
+struct Comment {
+  int line;  // line the comment starts on
+  std::string text;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+[[nodiscard]] Lexed lex(const std::string& content);
+
+// One #include directive.
+struct IncludeEdge {
+  std::string target;  // as written between the quotes / angle brackets
+  int line = 0;
+  bool angled = false;  // <system> rather than "project"
+};
+
+enum class DeclKind : std::uint8_t {
+  kNamespace,
+  kClass,  // class / struct / union
+  kEnum,
+  kFunction,
+  kVariable,
+  kAlias,  // using X = ... / typedef
+};
+
+struct Decl {
+  DeclKind kind{};
+  std::string name;   // unqualified
+  std::string owner;  // out-of-line members: the `X` of `X::name(...)`
+  std::string scope;  // enclosing namespace/class names, "::"-joined
+  int line = 0;
+  bool is_static = false;
+  bool is_const = false;  // const or constexpr appeared in the declaration
+  bool is_thread_local = false;
+  bool is_member = false;          // declared at class scope
+  bool is_function_local = false;  // declared inside a function body
+  bool is_forward = false;  // class fwd declaration or function prototype
+  // Token-index range of the attached `{ ... }` body: body_begin is the `{`,
+  // body_end the matching `}`.  -1 when the declaration has no body.
+  int body_begin = -1;
+  int body_end = -1;
+};
+
+struct ParsedFile {
+  std::string path;
+  Lexed lexed;
+  std::vector<IncludeEdge> includes;
+  std::vector<Decl> decls;
+};
+
+[[nodiscard]] ParsedFile parse_file(const std::string& path,
+                                    const std::string& content);
+
+}  // namespace dq::lint

@@ -1,0 +1,31 @@
+// cap-consistency-lww (wiring variant): beta is registered as atomic, but
+// its closure (BetaServer) resolves writes with a site-stamped lamport
+// counter -- LWW machinery that cannot give atomic semantics.
+#include "protocols/registry.h"
+
+namespace dq::workload {
+namespace {
+
+std::unique_ptr<core::Server> build_beta(core::Node& node) {
+  (void)node;
+  return std::make_unique<protocols::BetaServer>();
+}
+
+void add(const char* name, const char* display, protocols::Capability caps,
+         std::unique_ptr<core::Server> (*build)(core::Node&)) {
+  (void)name;
+  (void)display;
+  (void)caps;
+  (void)build;
+}
+
+}  // namespace
+
+void register_fixture_protocols() {
+  add("beta", "Beta (allegedly atomic)",
+      {/*supports_wal=*/false, /*supports_crash_recovery=*/false,
+       protocols::ConsistencyClass::kAtomic},
+      &build_beta);
+}
+
+}  // namespace dq::workload

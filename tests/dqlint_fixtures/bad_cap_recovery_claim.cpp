@@ -1,0 +1,31 @@
+// cap-recovery-claim (wiring variant): alpha claims
+// supports_crash_recovery=true, but its build function never wires an
+// add_crash_hook.  (The WAL claim is honest: AlphaServer owns a store::Wal.)
+#include "protocols/registry.h"
+
+namespace dq::workload {
+namespace {
+
+std::unique_ptr<core::Server> build_alpha(core::Node& node) {
+  (void)node;
+  return std::make_unique<protocols::AlphaServer>();
+}
+
+void add(const char* name, const char* display, protocols::Capability caps,
+         std::unique_ptr<core::Server> (*build)(core::Node&)) {
+  (void)name;
+  (void)display;
+  (void)caps;
+  (void)build;
+}
+
+}  // namespace
+
+void register_fixture_protocols() {
+  add("alpha", "Alpha (durable)",
+      {/*supports_wal=*/true, /*supports_crash_recovery=*/true,
+       protocols::ConsistencyClass::kRegular},
+      &build_alpha);
+}
+
+}  // namespace dq::workload

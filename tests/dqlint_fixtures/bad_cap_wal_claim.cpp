@@ -1,0 +1,30 @@
+// cap-wal-claim (wiring variant): alpha claims supports_wal=true, but its
+// build function wires BetaServer, whose closure never touches store::Wal.
+#include "protocols/registry.h"
+
+namespace dq::workload {
+namespace {
+
+std::unique_ptr<core::Server> build_alpha(core::Node& node) {
+  node.add_crash_hook([] {}, [] {});
+  return std::make_unique<protocols::BetaServer>();
+}
+
+void add(const char* name, const char* display, protocols::Capability caps,
+         std::unique_ptr<core::Server> (*build)(core::Node&)) {
+  (void)name;
+  (void)display;
+  (void)caps;
+  (void)build;
+}
+
+}  // namespace
+
+void register_fixture_protocols() {
+  add("alpha", "Alpha (durable)",
+      {/*supports_wal=*/true, /*supports_crash_recovery=*/true,
+       protocols::ConsistencyClass::kRegular},
+      &build_alpha);
+}
+
+}  // namespace dq::workload

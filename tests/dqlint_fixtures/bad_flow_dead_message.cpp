@@ -1,0 +1,14 @@
+// flow-dead-message (user-file variant): Pong never appears outside the
+// wire layer -- no send site, nothing constructs or names it.
+#include "msg/wire.h"
+
+namespace dq::core {
+
+msg::Payload make_ping(std::uint64_t nonce) { return msg::Ping{nonce}; }
+
+int classify(const msg::Payload& p) {
+  if (std::get_if<msg::Ping>(&p) != nullptr) return 1;
+  return 0;
+}
+
+}  // namespace dq::core

@@ -1,0 +1,15 @@
+// flow-unhandled-message (user-file variant): Pong is constructed (a send
+// site exists) but no receiver ever dispatches on it.
+#include "msg/wire.h"
+
+namespace dq::core {
+
+msg::Payload make_ping(std::uint64_t nonce) { return msg::Ping{nonce}; }
+msg::Payload make_pong(std::uint64_t nonce) { return msg::Pong{nonce}; }
+
+int classify(const msg::Payload& p) {
+  if (std::get_if<msg::Ping>(&p) != nullptr) return 1;
+  return 0;
+}
+
+}  // namespace dq::core

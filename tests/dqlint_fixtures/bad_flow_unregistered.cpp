@@ -1,0 +1,23 @@
+// flow-unregistered (wire.h variant): `Orphan` is declared in the wire
+// header but is neither a Payload alternative nor referenced anywhere else
+// in the program -- dead cargo on the wire layer.
+#include <cstdint>
+#include <variant>
+
+namespace dq::msg {
+
+struct Ping {
+  std::uint64_t nonce = 0;
+};
+
+struct Pong {
+  std::uint64_t nonce = 0;
+};
+
+struct Orphan {
+  std::uint32_t pad = 0;
+};
+
+using Payload = std::variant<Ping, Pong>;
+
+}  // namespace dq::msg

@@ -1,0 +1,25 @@
+// flow-wire-stub (wire.cpp variant): Pong is missing its SizeOf overload,
+// so the alternative has only one of the two required visitors.
+#include "msg/wire.h"
+
+namespace dq::msg {
+namespace {
+
+struct NameOf {
+  const char* operator()(const Ping&) const { return "Ping"; }
+  const char* operator()(const Pong&) const { return "Pong"; }
+};
+
+struct SizeOf {
+  std::size_t operator()(const Ping&) const { return 16; }
+};
+
+}  // namespace
+
+const char* payload_name(const Payload& p) { return std::visit(NameOf{}, p); }
+
+std::size_t approximate_size(const Payload& p) {
+  return std::visit(SizeOf{}, p);
+}
+
+}  // namespace dq::msg

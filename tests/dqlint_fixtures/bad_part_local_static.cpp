@@ -1,0 +1,15 @@
+// part-local-static: one mutable function-local static shared by every
+// partition worker that calls the function; the const table stays quiet.
+namespace dq::sim {
+
+int next_ticket() {
+  static int ticket = 0;
+  return ++ticket;
+}
+
+int table_lookup(int i) {
+  static const int kTable[4] = {1, 2, 4, 8};
+  return kTable[i & 3];
+}
+
+}  // namespace dq::sim

@@ -1,0 +1,17 @@
+// part-mutable-global: namespace-scope, thread_local, and class-static
+// mutable state are all shared across parallel_world partitions; only the
+// per-instance member stays quiet.
+#include <cstdint>
+
+namespace dq::sim {
+
+std::uint64_t g_rounds = 0;
+
+thread_local int t_scratch = 0;
+
+struct Telemetry {
+  static int shared_hits;
+  int local_hits = 0;
+};
+
+}  // namespace dq::sim

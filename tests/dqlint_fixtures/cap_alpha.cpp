@@ -1,0 +1,15 @@
+// Protocol-impl fixture: AlphaServer wires a durable log (store::Wal), the
+// honest counterpart of cap_wiring.cpp's alpha registration.
+#include "store/wal.h"
+
+namespace dq::protocols {
+
+class AlphaServer {
+ public:
+  void on_write(int key, int value) { wal_.append(key, value); }
+
+ private:
+  store::Wal wal_;
+};
+
+}  // namespace dq::protocols

@@ -1,0 +1,22 @@
+// Protocol-impl fixture: BetaServer resolves conflicts last-writer-wins via
+// a site-stamped lamport counter and keeps no durable log -- the honest
+// counterpart of the eventual, wal-free beta registration.
+#include <cstdint>
+
+namespace dq::protocols {
+
+class BetaServer {
+ public:
+  void on_write(int key, int value) {
+    ++lamport_;
+    slot_key_ = key;
+    slot_value_ = value;
+  }
+
+ private:
+  std::uint64_t lamport_ = 0;
+  int slot_key_ = 0;
+  int slot_value_ = 0;
+};
+
+}  // namespace dq::protocols

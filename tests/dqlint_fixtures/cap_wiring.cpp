@@ -1,0 +1,43 @@
+// Registry-wiring fixture (stands in for src/workload/wiring.cpp): every
+// capability claim matches the implementation closure.  alpha wires a WAL
+// and crash hooks and claims atomic (its closure has no LWW helpers); beta
+// claims nothing and is honestly eventual.
+#include "protocols/registry.h"
+
+namespace dq::workload {
+namespace {
+
+constexpr protocols::Capability kAlphaCaps{
+    /*supports_wal=*/true, /*supports_crash_recovery=*/true,
+    protocols::ConsistencyClass::kAtomic};
+
+std::unique_ptr<core::Server> build_alpha(core::Node& node) {
+  auto server = std::make_unique<protocols::AlphaServer>();
+  node.add_crash_hook([] {}, [] {});
+  return server;
+}
+
+std::unique_ptr<core::Server> build_beta(core::Node& node) {
+  (void)node;
+  return std::make_unique<protocols::BetaServer>();
+}
+
+void add(const char* name, const char* display, protocols::Capability caps,
+         std::unique_ptr<core::Server> (*build)(core::Node&)) {
+  (void)name;
+  (void)display;
+  (void)caps;
+  (void)build;
+}
+
+}  // namespace
+
+void register_fixture_protocols() {
+  add("alpha", "Alpha (durable)", kAlphaCaps, &build_alpha);
+  add("beta", "Beta (eventual)",
+      {/*supports_wal=*/false, /*supports_crash_recovery=*/false,
+       protocols::ConsistencyClass::kEventual},
+      &build_beta);
+}
+
+}  // namespace dq::workload

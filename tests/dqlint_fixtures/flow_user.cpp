@@ -1,0 +1,16 @@
+// Core-side fixture: every payload has a send site (construction) and a
+// dispatch site (get_if / holds_alternative), so the flow rules stay quiet.
+#include "msg/wire.h"
+
+namespace dq::core {
+
+msg::Payload make_ping(std::uint64_t nonce) { return msg::Ping{nonce}; }
+msg::Payload make_pong(std::uint64_t nonce) { return msg::Pong{nonce}; }
+
+int classify(const msg::Payload& p) {
+  if (std::get_if<msg::Ping>(&p) != nullptr) return 1;
+  if (std::holds_alternative<msg::Pong>(p)) return 2;
+  return 0;
+}
+
+}  // namespace dq::core

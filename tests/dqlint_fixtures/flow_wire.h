@@ -1,0 +1,19 @@
+// Wire-layer fixture (program mode, stands in for src/msg/wire.h): two
+// payload structs, both registered as Payload alternatives.  Lint input
+// only -- never compiled.
+#include <cstdint>
+#include <variant>
+
+namespace dq::msg {
+
+struct Ping {
+  std::uint64_t nonce = 0;
+};
+
+struct Pong {
+  std::uint64_t nonce = 0;
+};
+
+using Payload = std::variant<Ping, Pong>;
+
+}  // namespace dq::msg

@@ -1,0 +1,21 @@
+// Clean partition-ownership fixture: constants and per-instance state only,
+// the patterns part-* must never flag.
+#include <array>
+#include <cstdint>
+
+namespace dq::sim {
+
+constexpr std::size_t kMaxPartitions = 16;
+const std::array<int, 3> kWeights = {1, 2, 3};
+inline constexpr double kLoadFactor = 0.75;
+
+struct Lane {
+  std::uint64_t executed = 0;  // per-instance, partition-owned
+};
+
+double scaled(int i) {
+  static const double kScale = 1.5;
+  return kScale * i;
+}
+
+}  // namespace dq::sim

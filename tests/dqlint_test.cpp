@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include "tools/dqlint/graph.h"
 #include "tools/dqlint/lint.h"
+#include "tools/dqlint/parse.h"
 
 namespace dq::lint {
 namespace {
@@ -33,6 +35,40 @@ std::map<std::string, int> rule_counts(const FileReport& fr) {
   std::map<std::string, int> out;
   for (const Diagnostic& d : fr.diagnostics) ++out[d.rule];
   return out;
+}
+
+std::map<std::string, int> rule_counts(const RunReport& rr) {
+  std::map<std::string, int> out;
+  for (const Diagnostic& d : rr.diagnostics) ++out[d.rule];
+  return out;
+}
+
+// Whole-program fixture mode: each (synthetic path, fixture) pair becomes
+// one source; scopes APPLY, so the paths choose which rules are live --
+// exactly how the CLI runs over the real tree.
+RunReport lint_fixture_program(
+    const std::vector<std::pair<std::string, std::string>>& mapping) {
+  std::vector<SourceFile> files;
+  files.reserve(mapping.size());
+  for (const auto& [path, name] : mapping) {
+    files.push_back({path, fixture(name)});
+  }
+  return lint_program(files, /*apply_scopes=*/true);
+}
+
+// The clean message-flow program: wire header + visitors + a core-side
+// user that sends and dispatches every payload.
+std::vector<std::pair<std::string, std::string>> flow_program() {
+  return {{"src/msg/wire.h", "flow_wire.h"},
+          {"src/msg/wire.cpp", "flow_wire_impl.cpp"},
+          {"src/core/user.cpp", "flow_user.cpp"}};
+}
+
+// The clean capability program: registry wiring + both protocol impls.
+std::vector<std::pair<std::string, std::string>> cap_program() {
+  return {{"src/workload/wiring.cpp", "cap_wiring.cpp"},
+          {"src/protocols/alpha.cpp", "cap_alpha.cpp"},
+          {"src/protocols/beta.cpp", "cap_beta.cpp"}};
 }
 
 TEST(DqlintRules, CleanFixtureIsClean) {
@@ -236,13 +272,177 @@ TEST(DqlintEngine, MemberAndNonStdQualifiedCallsDoNotFire) {
   EXPECT_EQ(lint_source("src/sim/x.cpp", bad, true).diagnostics.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Program-level (cross-TU) rules: flow-*, cap-*, part-*
+// ---------------------------------------------------------------------------
+
+TEST(DqlintProgram, CleanProgramIsClean) {
+  auto mapping = flow_program();
+  for (auto& e : cap_program()) mapping.push_back(e);
+  mapping.emplace_back("src/sim/lanes.cpp", "part_clean.cpp");
+  const RunReport rr = lint_fixture_program(mapping);
+  EXPECT_TRUE(rr.diagnostics.empty())
+      << rr.diagnostics.front().file << ":" << rr.diagnostics.front().line
+      << ": " << rr.diagnostics.front().rule << ": "
+      << rr.diagnostics.front().message;
+  EXPECT_EQ(rr.files_scanned, 7u);
+}
+
+TEST(DqlintProgram, FlowUnregistered) {
+  auto mapping = flow_program();
+  mapping[0].second = "bad_flow_unregistered.cpp";  // wire.h with dead cargo
+  const auto counts = rule_counts(lint_fixture_program(mapping));
+  EXPECT_EQ(counts.at("flow-unregistered"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintProgram, FlowWireStub) {
+  auto mapping = flow_program();
+  mapping[1].second = "bad_flow_wire_stub.cpp";  // Pong missing SizeOf
+  const RunReport rr = lint_fixture_program(mapping);
+  const auto counts = rule_counts(rr);
+  EXPECT_EQ(counts.at("flow-wire-stub"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+  // The diagnostic anchors to the payload's declaration in the header, not
+  // to the impl file where the overload is missing.
+  ASSERT_EQ(rr.diagnostics.size(), 1u);
+  EXPECT_EQ(rr.diagnostics[0].file, "src/msg/wire.h");
+  EXPECT_NE(rr.diagnostics[0].message.find("Pong"), std::string::npos);
+}
+
+TEST(DqlintProgram, FlowDeadMessage) {
+  auto mapping = flow_program();
+  mapping[2].second = "bad_flow_dead_message.cpp";  // Pong never sent
+  const auto counts = rule_counts(lint_fixture_program(mapping));
+  EXPECT_EQ(counts.at("flow-dead-message"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintProgram, FlowUnhandledMessage) {
+  auto mapping = flow_program();
+  mapping[2].second = "bad_flow_unhandled_message.cpp";  // sent, no dispatch
+  const auto counts = rule_counts(lint_fixture_program(mapping));
+  EXPECT_EQ(counts.at("flow-unhandled-message"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintProgram, CapWalClaim) {
+  const RunReport rr = lint_fixture_program(
+      {{"src/workload/wiring.cpp", "bad_cap_wal_claim.cpp"},
+       {"src/protocols/beta.cpp", "cap_beta.cpp"}});
+  const auto counts = rule_counts(rr);
+  EXPECT_EQ(counts.at("cap-wal-claim"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+  ASSERT_EQ(rr.diagnostics.size(), 1u);
+  // Anchored to the registration site in the wiring TU.
+  EXPECT_EQ(rr.diagnostics[0].file, "src/workload/wiring.cpp");
+}
+
+TEST(DqlintProgram, CapRecoveryClaim) {
+  const auto counts = rule_counts(lint_fixture_program(
+      {{"src/workload/wiring.cpp", "bad_cap_recovery_claim.cpp"},
+       {"src/protocols/alpha.cpp", "cap_alpha.cpp"}}));
+  EXPECT_EQ(counts.at("cap-recovery-claim"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintProgram, CapConsistencyLww) {
+  const RunReport rr = lint_fixture_program(
+      {{"src/workload/wiring.cpp", "bad_cap_lww.cpp"},
+       {"src/protocols/beta.cpp", "cap_beta.cpp"}});
+  const auto counts = rule_counts(rr);
+  EXPECT_EQ(counts.at("cap-consistency-lww"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_NE(rr.diagnostics[0].message.find("lamport_"), std::string::npos);
+}
+
+TEST(DqlintProgram, PartMutableGlobal) {
+  // Namespace-scope + thread_local + class-static all fire; the instance
+  // member stays quiet.
+  const auto counts = rule_counts(lint_fixture_program(
+      {{"src/sim/state.cpp", "bad_part_mutable_global.cpp"}}));
+  EXPECT_EQ(counts.at("part-mutable-global"), 3);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintProgram, PartLocalStatic) {
+  const auto counts = rule_counts(lint_fixture_program(
+      {{"src/sim/ticket.cpp", "bad_part_local_static.cpp"}}));
+  EXPECT_EQ(counts.at("part-local-static"), 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DqlintProgram, PartRulesScopedToDetDirs) {
+  // The same mutable globals outside the deterministic core (workload/,
+  // bench/) are legal: those layers never run inside a partition.
+  EXPECT_TRUE(lint_fixture_program(
+                  {{"src/workload/state.cpp", "bad_part_mutable_global.cpp"}})
+                  .diagnostics.empty());
+  EXPECT_TRUE(lint_fixture_program(
+                  {{"bench/state.cpp", "bad_part_mutable_global.cpp"}})
+                  .diagnostics.empty());
+}
+
+TEST(DqlintProgram, ProgramDiagnosticsAreSuppressible) {
+  const std::string src =
+      "namespace dq::sim {\n"
+      "// dqlint:allow(part-mutable-global): test-only counter, never read\n"
+      "// by partition workers\n"
+      "int g_hits = 0;\n"
+      "}  // namespace dq::sim\n";
+  const RunReport rr = lint_program({{"src/sim/x.cpp", src}}, true);
+  EXPECT_TRUE(rr.diagnostics.empty())
+      << rr.diagnostics.front().rule << ": "
+      << rr.diagnostics.front().message;
+  ASSERT_EQ(rr.suppressions.size(), 1u);
+  EXPECT_EQ(rr.suppressions[0].rule, "part-mutable-global");
+  EXPECT_NE(rr.suppressions[0].justification.find("test-only counter"),
+            std::string::npos);
+}
+
+TEST(DqlintProgram, ExtractRegistrationsReadsDescriptors) {
+  const ParsedFile wiring =
+      parse_file("src/workload/wiring.cpp", fixture("cap_wiring.cpp"));
+  const auto regs = extract_registrations(wiring);
+  ASSERT_EQ(regs.size(), 2u);
+  EXPECT_EQ(regs[0].name, "alpha");
+  EXPECT_TRUE(regs[0].supports_wal);             // named kAlphaCaps constant
+  EXPECT_TRUE(regs[0].supports_crash_recovery);
+  EXPECT_EQ(regs[0].consistency, "kAtomic");
+  ASSERT_EQ(regs[0].build_fns.size(), 1u);
+  EXPECT_EQ(regs[0].build_fns[0], "build_alpha");
+  EXPECT_EQ(regs[1].name, "beta");
+  EXPECT_FALSE(regs[1].supports_wal);            // inline brace initializer
+  EXPECT_FALSE(regs[1].supports_crash_recovery);
+  EXPECT_EQ(regs[1].consistency, "kEventual");
+}
+
+TEST(DqlintScopes, DetRulesCoverBench) {
+  // Benches emit dq.bench.v1 documents that must stay seed-deterministic,
+  // so the det-* family covers bench/ too (wall clocks there carry
+  // justified suppressions in the real tree).
+  const std::string src = "#include <unordered_map>\n"
+                          "std::unordered_map<int, int> m;\n";
+  EXPECT_EQ(lint_source("bench/x.cpp", src, true).diagnostics.size(), 2u);
+  const std::string clock = "long f() { return std::time(nullptr); }\n";
+  EXPECT_EQ(lint_source("bench/x.cpp", clock, true).diagnostics.size(), 1u);
+}
+
 TEST(DqlintReport, RuleTableIsSane) {
   std::set<std::string> ids;
   for (const RuleInfo& r : rules()) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
     EXPECT_FALSE(r.description.empty()) << r.id;
   }
-  EXPECT_GE(ids.size(), 12u);
+  EXPECT_GE(ids.size(), 24u);
+  // The three program-level families are all represented.
+  for (const char* id :
+       {kRuleFlowUnregistered, kRuleFlowWireStub, kRuleFlowDeadMessage,
+        kRuleFlowUnhandledMessage, kRuleCapWalClaim, kRuleCapRecoveryClaim,
+        kRuleCapConsistencyLww, kRulePartMutableGlobal,
+        kRulePartLocalStatic}) {
+    EXPECT_EQ(ids.count(id), 1u) << id;
+  }
 }
 
 TEST(DqlintReport, JsonEnvelope) {
@@ -255,12 +455,18 @@ TEST(DqlintReport, JsonEnvelope) {
   EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"det-rand\""), std::string::npos);
   EXPECT_NE(json.find("\"justification\":"), std::string::npos);
+  // The per-rule rollup: suppressed.cpp carries two justified
+  // det-unordered-container directives.
+  EXPECT_NE(json.find("\"suppression_summary\":[{\"rule\":"
+                      "\"det-unordered-container\",\"count\":2}]"),
+            std::string::npos);
 
   RunReport clean;
   clean.add(lint_fixture("clean.cpp"));
   const std::string cj = to_json(clean, "fixtures");
   EXPECT_NE(cj.find("\"clean\":true"), std::string::npos);
   EXPECT_NE(cj.find("\"diagnostics\":[]"), std::string::npos);
+  EXPECT_NE(cj.find("\"suppression_summary\":[]"), std::string::npos);
 }
 
 }  // namespace

@@ -92,6 +92,27 @@ TEST(ProtocolRegistry, PaperProtocolsAreRegistered) {
   }
 }
 
+TEST(ProtocolRegistry, DescriptorConsistency) {
+  // The invariants behind dqlint's cap-* rules and the --protocol=help
+  // listing: every registered descriptor is internally coherent, fully
+  // named, and listed exactly once.
+  std::set<std::string> seen;
+  for (const protocols::ProtocolInfo* info : all_protocols()) {
+    EXPECT_FALSE(info->name.empty());
+    EXPECT_FALSE(info->display_name.empty()) << info->name;
+    // Crash recovery replays the WAL on restart, so the claim implies WAL
+    // support.
+    EXPECT_TRUE(!info->caps.supports_crash_recovery ||
+                info->caps.supports_wal)
+        << info->name << " claims crash recovery without a WAL";
+    EXPECT_TRUE(seen.insert(info->name).second)
+        << info->name << " would appear twice in --protocol=help";
+    // find() round-trips to the same stable descriptor the listing shows.
+    EXPECT_EQ(find_protocol(info->name), info) << info->name;
+    EXPECT_TRUE(static_cast<bool>(info->build)) << info->name;
+  }
+}
+
 TEST(ProtocolRegistry, CustomProtocolDispatchesThroughDeployment) {
   // A third-party protocol: registered once, then reachable by name through
   // the ordinary ExperimentParams/Deployment path.  The factory delegates

@@ -39,7 +39,7 @@ METRICS_KEYS = {"counters", "gauges", "histograms"}
 STALENESS_KEYS = {"reads", "stale_reads", "read_age_ms"}
 LINT_KEYS = {
     "schema", "root", "files_scanned", "clean", "rules", "diagnostics",
-    "suppressions",
+    "suppressions", "suppression_summary",
 }
 
 
@@ -199,6 +199,27 @@ def check_lint(doc, where, *, require_clean=False):
         expect(isinstance(s.get("line"), int) and s["line"] >= 1,
                f"{w}.line: not a positive int")
         expect(s["rule"] in ids, f"{w}.rule: {s['rule']!r} not in rule table")
+
+    # The per-rule rollup must agree exactly with the suppressions array.
+    actual = {}
+    for s in doc["suppressions"]:
+        actual[s["rule"]] = actual.get(s["rule"], 0) + 1
+    summary = doc["suppression_summary"]
+    expect(isinstance(summary, list),
+           f"{where}.suppression_summary: expected array")
+    rolled = {}
+    for i, e in enumerate(summary):
+        w = f"{where}.suppression_summary[{i}]"
+        expect(isinstance(e, dict), f"{w}: expected object")
+        expect(isinstance(e.get("rule"), str) and e["rule"] in ids,
+               f"{w}.rule: {e.get('rule')!r} not in rule table")
+        expect(isinstance(e.get("count"), int) and e["count"] >= 1,
+               f"{w}.count: not a positive int")
+        expect(e["rule"] not in rolled, f"{w}.rule: duplicate {e['rule']!r}")
+        rolled[e["rule"]] = e["count"]
+    expect(rolled == actual,
+           f"{where}.suppression_summary: disagrees with suppressions array "
+           f"(summary={rolled} actual={actual})")
 
     expect(doc["clean"] == (len(doc["diagnostics"]) == 0),
            f"{where}.clean: inconsistent with diagnostics array")
