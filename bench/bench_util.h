@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,82 @@
 #include "workload/report.h"
 
 namespace dq::bench {
+
+// ---------------------------------------------------------------------------
+// Hardware provenance.  Perf baselines are only comparable when they were
+// captured on the same hardware; every dq.bench.v1 envelope therefore
+// carries a "host" block, and `baseline_comparable` says whether the
+// checked-in baseline at the same path was captured on this host (false =
+// the absolute numbers explain a drift like ROADMAP's 18.7M vs the current
+// BENCH_sim_throughput.json, not a regression).
+// ---------------------------------------------------------------------------
+
+struct HostInfo {
+  std::string cpu_model = "unknown";
+  unsigned hardware_threads = 1;
+};
+
+inline HostInfo host_info() {
+  HostInfo h;
+  h.hardware_threads = static_cast<unsigned>(run::resolve_jobs(0));
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return h;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) break;
+    std::string v = colon + 1;
+    while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+      v.erase(v.begin());
+    }
+    while (!v.empty() && (v.back() == '\n' || v.back() == '\r' ||
+                          v.back() == ' ')) {
+      v.pop_back();
+    }
+    if (!v.empty()) h.cpu_model = v;
+    break;
+  }
+  std::fclose(f);
+  return h;
+}
+
+inline std::string host_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Does the existing baseline at `path` (about to be replaced) carry a host
+// block matching this machine?  A missing file or a pre-provenance envelope
+// has nothing to drift from and counts as comparable.
+inline bool baseline_comparable(const std::string& path, const HostInfo& h) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return true;
+  std::string doc;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  if (doc.find("\"host\":") == std::string::npos) return true;
+  const bool cpu_ok =
+      doc.find("\"cpu_model\":\"" + host_escape(h.cpu_model) + "\"") !=
+      std::string::npos;
+  const bool threads_ok =
+      doc.find("\"hardware_threads\":" + std::to_string(h.hardware_threads)) !=
+      std::string::npos;
+  return cpu_ok && threads_ok;
+}
+
+inline std::string host_json(const HostInfo& h, bool comparable) {
+  return "{\"cpu_model\":\"" + host_escape(h.cpu_model) +
+         "\",\"hardware_threads\":" + std::to_string(h.hardware_threads) +
+         ",\"baseline_comparable\":" + (comparable ? "true" : "false") + "}";
+}
 
 // Parse --jobs=N from a bench command line (0 = one per hardware thread;
 // default 1 = serial).  Benches without a Reporter use this directly with
@@ -138,13 +215,18 @@ class Reporter {
   void write() {
     if (written_) return;
     written_ = true;
+    // Compare against the baseline being replaced BEFORE truncating it.
+    const HostInfo host = host_info();
+    const bool comparable = baseline_comparable(path_, host);
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "{\"schema\":\"dq.bench.v1\",\"bench\":\"%s\",\"runs\":[",
-                 name_.c_str());
+    std::fprintf(f,
+                 "{\"schema\":\"dq.bench.v1\",\"bench\":\"%s\",\"host\":%s,"
+                 "\"runs\":[",
+                 name_.c_str(), host_json(host, comparable).c_str());
     for (std::size_t i = 0; i < runs_.size(); ++i) {
       std::fprintf(f, "%s%s", i == 0 ? "" : ",", runs_[i].c_str());
     }

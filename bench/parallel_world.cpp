@@ -125,12 +125,15 @@ int main(int argc, char** argv) {
                  json_path.c_str());
   }
 
+  const HostInfo host = host_info();
+  const bool comparable = baseline_comparable(json_path, host);
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
     return 0;
   }
   std::fprintf(f, "{\"schema\":\"dq.bench.v1\",\"bench\":\"parallel_world\"");
+  std::fprintf(f, ",\"host\":%s", host_json(host, comparable).c_str());
   std::fprintf(f,
                ",\"parallel_world\":{\"servers\":%zu,\"clients\":%zu,"
                "\"volumes\":%zu,\"partitions\":%zu,\"lookahead_ms\":%.1f,"

@@ -142,12 +142,15 @@ int main(int argc, char** argv) {
                  json_path.c_str());
   }
 
+  const HostInfo host = host_info();
+  const bool comparable = baseline_comparable(json_path, host);
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
     return 0;
   }
   std::fprintf(f, "{\"schema\":\"dq.bench.v1\",\"bench\":\"sim_throughput\"");
+  std::fprintf(f, ",\"host\":%s", host_json(host, comparable).c_str());
   std::fprintf(f,
                ",\"throughput\":{\"scheduler_events_per_sec\":%.0f,"
                "\"scheduler_events_per_sec_cancel_heavy\":%.0f,"

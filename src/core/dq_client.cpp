@@ -41,8 +41,14 @@ void DqClient::write(ObjectId o, Value value, WriteCallback done) {
           done(false, LogicalClock{});
           return;
         }
-        // Phase 2: the write proper, to an IQS write quorum.
-        const LogicalClock lc = max_lc->advanced_by(writer_id_);
+        // Phase 2: the write proper, to an IQS write quorum.  Advance past
+        // our own previously issued clock as well as the quorum maximum:
+        // pipelined writes from one writer would otherwise observe the same
+        // quorum max and mint identical clocks (writer-id tie-breaking only
+        // disambiguates *different* writers).
+        const LogicalClock lc =
+            std::max(*max_lc, issued_).advanced_by(writer_id_);
+        issued_ = lc;
         engine_.call(
             *cfg_->iqs, quorum::Kind::kWrite,
             [o, lc, value](NodeId) -> std::optional<msg::Payload> {

@@ -50,6 +50,9 @@ class DqClient {
   std::shared_ptr<const DqConfig> cfg_;
   rpc::QrpcEngine engine_;
   ClientId writer_id_;
+  // Highest clock this writer has issued; keeps pipelined same-writer
+  // writes strictly ordered (see DqClient::write phase 2).
+  LogicalClock issued_;
 };
 
 }  // namespace dq::core

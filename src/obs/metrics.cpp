@@ -4,16 +4,12 @@
 
 namespace dq::obs {
 
-namespace {
+namespace detail {
 // The calling partition's lane.  Lane 0 outside the parallel engine, so every
 // serial simulation (and all setup-time registration on the main thread)
 // behaves exactly as before lanes existed.
 thread_local std::uint32_t t_current_lane = 0;
-}  // namespace
-
-std::uint32_t current_lane() { return t_current_lane; }
-
-void set_current_lane(std::uint32_t lane) { t_current_lane = lane; }
+}  // namespace detail
 
 double HistogramData::bucket_upper_ms(std::size_t i) {
   double ub = kFirstUpperMs;

@@ -37,8 +37,19 @@ namespace dq::obs {
 //
 // The current lane is ambient per-thread state owned by the engine; lane 0 is
 // the default everywhere else, including all serial simulations.
-[[nodiscard]] std::uint32_t current_lane();
-void set_current_lane(std::uint32_t lane);
+namespace detail {
+// Defined in metrics.cpp; exposed here only so current_lane() inlines to a
+// single thread-local read (it sits inside every counter/histogram update
+// on the message hot path -- an out-of-line call per update is measurable).
+extern thread_local std::uint32_t t_current_lane;
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t current_lane() {
+  return detail::t_current_lane;
+}
+inline void set_current_lane(std::uint32_t lane) {
+  detail::t_current_lane = lane;
+}
 
 // Monotone event count.
 class Counter {

@@ -90,7 +90,12 @@ void MajorityClient::write(ObjectId o, Value value, WriteCallback done) {
           done(false, LogicalClock{});
           return;
         }
-        const LogicalClock lc = max_lc->advanced_by(writer_id_);
+        // Advance past our own previously issued clock as well as the
+        // quorum maximum: pipelined writes from one writer would otherwise
+        // observe the same quorum max and mint identical clocks.
+        const LogicalClock lc =
+            std::max(*max_lc, issued_).advanced_by(writer_id_);
+        issued_ = lc;
         engine_.call(
             *system_, quorum::Kind::kWrite,
             [o, lc, value](NodeId) -> std::optional<msg::Payload> {

@@ -77,6 +77,10 @@ class MajorityClient final : public ServiceClient {
   rpc::QrpcEngine engine_;
   rpc::QrpcOptions opts_;
   ClientId writer_id_;
+  // Highest clock this writer has issued; keeps pipelined same-writer
+  // writes strictly ordered (writer-id tie-breaking only disambiguates
+  // different writers).
+  LogicalClock issued_;
 };
 
 }  // namespace dq::protocols

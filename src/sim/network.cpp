@@ -54,8 +54,12 @@ LinkClass Topology::link_class(NodeId src, NodeId dst) const {
 }
 
 Duration Topology::one_way_delay(NodeId src, NodeId dst, Rng& rng) const {
+  return one_way_delay(link_class(src, dst), rng);
+}
+
+Duration Topology::one_way_delay(LinkClass link, Rng& rng) const {
   Duration base = 0;
-  switch (link_class(src, dst)) {
+  switch (link) {
     case LinkClass::kLoopback:
       base = 0;  // a node talking to itself costs nothing on the wire
       break;

@@ -101,6 +101,9 @@ class Topology {
 
   [[nodiscard]] LinkClass link_class(NodeId src, NodeId dst) const;
   [[nodiscard]] Duration one_way_delay(NodeId src, NodeId dst, Rng& rng) const;
+  // Same delay model when the caller has already classified the link (the
+  // send path classifies once for the per-link metrics and reuses it here).
+  [[nodiscard]] Duration one_way_delay(LinkClass link, Rng& rng) const;
   [[nodiscard]] Duration processing_delay() const {
     return p_.processing_delay;
   }

@@ -26,13 +26,6 @@ namespace dq::sim::par {
 
 namespace {
 
-// Which partition the current thread is executing (null on the coordinating
-// thread and in every serial simulation).  Plain thread-local state: set and
-// cleared by the engine around each partition step.
-// dqlint:allow(part-mutable-global): per-thread by construction; each worker
-// sees only its own partition pointer, so nothing is shared across them.
-thread_local PartitionState* t_state = nullptr;
-
 Duration base_delay(const Topology::Params& p, LinkClass c) {
   switch (c) {
     case LinkClass::kLoopback:
@@ -49,9 +42,14 @@ Duration base_delay(const Topology::Params& p, LinkClass c) {
 
 }  // namespace
 
-PartitionState* current_state() { return t_state; }
-
-void set_current_state(PartitionState* state) { t_state = state; }
+namespace detail {
+// Which partition the current thread is executing (null on the coordinating
+// thread and in every serial simulation).  Plain thread-local state: set and
+// cleared by the engine around each partition step.
+// dqlint:allow(part-mutable-global): per-thread by construction; each worker
+// sees only its own partition pointer, so nothing is shared across them.
+thread_local PartitionState* t_state = nullptr;
+}  // namespace detail
 
 std::size_t default_partition_count(const Topology& topo) {
   // One partition per server, capped so tiny per-partition queues don't
@@ -279,12 +277,10 @@ void Engine::merge_mailboxes_into(PartitionState& dst) {
     DQ_INVARIANT(m.deliver_at >= dst.sched->now(),
                  "lookahead violated: a cross-partition message arrived in "
                  "the past");
-    auto fire = [w, env = std::move(m.env)]() mutable {
-      w->deliver(std::move(env));
-    };
-    static_assert(Scheduler::EventFn::fits_inline<decltype(fire)>(),
-                  "merged delivery callback must stay inline");
-    dst.sched->schedule_at(m.deliver_at, std::move(fire));
+    static_assert(Scheduler::EventFn::fits_inline<World::DeliveryEvent>(),
+                  "merged delivery event must stay inline");
+    dst.sched->schedule_construct_at<World::DeliveryEvent>(m.deliver_at, w,
+                                                           std::move(m.env));
   }
 }
 

@@ -115,12 +115,25 @@ struct PartitionState {
                                     // allocation in the steady state)
 };
 
+namespace detail {
+// Defined in parallel_world.cpp; exposed here only so current_state()
+// inlines to a single thread-local read -- World consults it several times
+// per message send on the hot path.
+// dqlint:allow(part-mutable-global): per-thread by construction; each worker
+// sees only its own partition pointer, so nothing is shared across them.
+extern thread_local PartitionState* t_state;
+}  // namespace detail
+
 // Ambient "which partition is this thread executing" state, used by World to
 // route rng draws, timers, sends, clocks, and traces without threading a
 // context argument through every actor.  Null outside a partition step (the
 // coordinating thread and all serial simulations).
-[[nodiscard]] PartitionState* current_state();
-void set_current_state(PartitionState* state);
+[[nodiscard]] inline PartitionState* current_state() {
+  return detail::t_state;
+}
+inline void set_current_state(PartitionState* state) {
+  detail::t_state = state;
+}
 
 // The round loop + worker pool.  Owned by a World in partitioned mode.
 class Engine {

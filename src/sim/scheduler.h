@@ -85,6 +85,16 @@ class Scheduler {
     return schedule_at(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
   }
 
+  // Construct a callable of type F directly in its pool slot from `args`.
+  // Message delivery uses this to avoid materializing the event (and the
+  // Envelope it carries) on the stack before moving it into the pool.
+  template <typename F, typename... Args>
+  TimerToken schedule_construct_at(Time when, Args&&... args) {
+    const std::uint32_t idx = acquire_slot();
+    slot(idx).fn.template emplace_as<F>(std::forward<Args>(args)...);
+    return arm_slot(idx, when);
+  }
+
   // Run events until the queue drains or `deadline` is reached, whichever is
   // first.  Returns the number of events executed.
   std::size_t run_until(Time deadline);

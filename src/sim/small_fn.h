@@ -69,6 +69,23 @@ class SmallFn {
   SmallFn(const SmallFn&) = delete;
   SmallFn& operator=(const SmallFn&) = delete;
 
+  // Construct a callable of type F directly in the buffer from `args` --
+  // no temporary F on the caller's stack and no relocation.  The message
+  // hot path uses this to build a delivery event around an in-flight
+  // Envelope with a single envelope move.
+  template <typename F, typename... Args>
+  void emplace_as(Args&&... args) {
+    static_assert(std::is_invocable_r_v<void, F&>);
+    reset();
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(&storage_)) F{std::forward<Args>(args)...};
+      ops_ = inline_ops<F>();
+    } else {
+      *reinterpret_cast<F**>(&storage_) = new F{std::forward<Args>(args)...};
+      ops_ = heap_ops<F>();
+    }
+  }
+
   ~SmallFn() { reset(); }
 
   [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }

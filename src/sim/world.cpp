@@ -102,7 +102,7 @@ std::size_t World::executed_events() const {
 }
 
 void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
-                        msg::Payload body, bool is_reply) {
+                        msg::Payload body, bool is_reply, Duration defer) {
   if (!faults_.is_up(src) || crashed_.at(src.value())) {
     return;  // a dead or disconnected node cannot put anything on the wire
   }
@@ -116,9 +116,10 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
   ++sent_by_.at(src.value());
   m_sent_->inc();
   m_bytes_->inc(size);
-  const auto link = static_cast<std::size_t>(topo_.link_class(src, dst));
-  m_link_msgs_[link]->inc();
-  m_link_bytes_[link]->inc(size);
+  const LinkClass link = topo_.link_class(src, dst);
+  const auto link_idx = static_cast<std::size_t>(link);
+  m_link_msgs_[link_idx]->inc();
+  m_link_bytes_[link_idx]->inc(size);
   if (tracer_.enabled()) {
     Tracer& tr = st != nullptr ? st->tracer : tracer_;
     tr.emit(now(), src, "net",
@@ -142,7 +143,7 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
       m_dropped_->inc();
       continue;
     }
-    const Duration delay = topo_.one_way_delay(src, dst, rng);
+    const Duration delay = defer + topo_.one_way_delay(link, rng);
     // The last copy moves the body instead of copying it (duplication is
     // rare, so the common case is zero payload copies past this point).
     Envelope env{src, dst, rpc_id,
@@ -151,14 +152,13 @@ void World::send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
       route_partitioned(std::move(env), delay);
       continue;
     }
-    auto fire = [this, env = std::move(env)]() mutable {
-      deliver(std::move(env));
-    };
-    // The delivery lambda is the hottest event in the simulator; keep it in
-    // the scheduler's inline pool (see Scheduler::kCallbackCapacity).
-    static_assert(Scheduler::EventFn::fits_inline<decltype(fire)>(),
-                  "delivery callback must fit the scheduler's inline buffer");
-    sched_.schedule_after(delay, std::move(fire));
+    // Keep the delivery event in the scheduler's inline pool (see
+    // Scheduler::kCallbackCapacity) and construct it there in place -- the
+    // envelope is moved exactly once, off this stack frame into the pool.
+    static_assert(Scheduler::EventFn::fits_inline<DeliveryEvent>(),
+                  "delivery event must fit the scheduler's inline buffer");
+    sched_.schedule_construct_at<DeliveryEvent>(
+        sched_.now() + (delay < 0 ? 0 : delay), this, std::move(env));
   }
 }
 
@@ -181,15 +181,13 @@ void World::route_partitioned(Envelope env, Duration delay) {
   // partition clocks agree then): straight onto the owner's queue.
   Scheduler& queue = *parts_[dst_part]->sched;
   const Time base = in_step ? cur->sched->now() : queue.now();
-  auto fire = [this, env = std::move(env)]() mutable {
-    deliver(std::move(env));
-  };
-  static_assert(Scheduler::EventFn::fits_inline<decltype(fire)>(),
-                "delivery callback must fit the scheduler's inline buffer");
-  queue.schedule_at(base + delay, std::move(fire));
+  static_assert(Scheduler::EventFn::fits_inline<DeliveryEvent>(),
+                "delivery event must fit the scheduler's inline buffer");
+  queue.schedule_construct_at<DeliveryEvent>(base + delay, this,
+                                             std::move(env));
 }
 
-void World::deliver(Envelope env) {
+void World::deliver(Envelope& env) {
   const auto idx = env.dst.value();
   // Reachability is also checked at delivery time so that a partition that
   // started while the message was in flight eats it (a message cannot

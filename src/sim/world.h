@@ -110,7 +110,21 @@ class World {
     send_tagged(src, to.src, to.rpc_id, std::move(body), /*is_reply=*/true);
   }
   void send_tagged(NodeId src, NodeId dst, RequestId rpc_id,
-                   msg::Payload body, bool is_reply);
+                   msg::Payload body, bool is_reply, Duration defer = 0);
+  // Send a request that departs at `depart_at` (>= now).  The open-loop
+  // generators draw a whole batch of arrivals at once and hand each one
+  // here, so the scheduler sees one timer per batch plus one delivery event
+  // per request.  Loss / duplication / delay / reachability are evaluated at
+  // call time from the sending partition's stream (the batch itself is a
+  // scheduled event, so this stays deterministic); delivery happens at
+  // depart_at + delay, which on the partitioned engine is always at or past
+  // the lookahead bound because defer >= 0.
+  void send_at(NodeId src, NodeId dst, Time depart_at, RequestId rpc_id,
+               msg::Payload body) {
+    const Time t = now();
+    send_tagged(src, dst, rpc_id, std::move(body), /*is_reply=*/false,
+                depart_at > t ? depart_at - t : 0);
+  }
 
   // Schedule `fn` at `node` after `delay` (on the global clock).  The
   // callback is dropped if the node crashed in the meantime (its process
@@ -232,7 +246,19 @@ class World {
  private:
   friend class par::Engine;
 
-  void deliver(Envelope env);
+  // The hottest event in the simulator: one in-flight message.  A concrete
+  // struct (not a lambda) so Scheduler::schedule_construct_at can build it
+  // directly in its pool slot -- the Envelope is moved exactly once, from
+  // the send path into the pool.
+  struct DeliveryEvent {
+    World* world;
+    Envelope env;
+    void operator()() { world->deliver(env); }
+  };
+
+  // Takes the envelope by reference: the caller (the pooled delivery event)
+  // owns it, and the hot path should not pay another 168-byte move.
+  void deliver(Envelope& env);
 
   // The partition state backing the calling thread: its own state inside a
   // partition step, partition 0 from the coordinating thread (setup-time

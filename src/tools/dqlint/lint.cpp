@@ -20,17 +20,21 @@ namespace {
 // Rule table
 // ---------------------------------------------------------------------------
 
-// Directories whose code feeds the deterministic simulation schedule.
+// Directories whose code feeds the deterministic simulation schedule.  The
+// open-loop workload engine is listed by file prefix: its samplers run
+// inside partition workers, so it carries the det-*/part-* guardrails even
+// though the rest of src/workload/ (trial setup, reporting) does not.
 const std::vector<std::string> kDetScope = {
-    "src/sim/", "src/core/", "src/protocols/",
-    "src/quorum/", "src/rpc/", "src/store/", "src/msg/"};
+    "src/sim/", "src/core/", "src/protocols/", "src/quorum/",
+    "src/rpc/", "src/store/", "src/msg/", "src/workload/open_loop"};
 
 // det-* additionally covers bench/: benches emit checked-in dq.bench.v1
 // baselines, so they carry the same determinism guardrails (wall-clock use
 // for timing is the one sanctioned exception, justified per site).
 const std::vector<std::string> kDetBenchScope = {
     "src/sim/", "src/core/", "src/protocols/", "src/quorum/",
-    "src/rpc/",  "src/store/", "src/msg/",      "bench/"};
+    "src/rpc/",  "src/store/", "src/msg/", "src/workload/open_loop",
+    "bench/"};
 
 const char* kRuleDetUnordered = "det-unordered-container";
 const char* kRuleDetRand = "det-rand";

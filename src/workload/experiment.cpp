@@ -25,7 +25,20 @@ Deployment::Deployment(const ExperimentParams& params) : params_(params) {
 
   sim::Topology topo_desc(params_.topo);
   sim::World::Parallelism parallel;
-  if (params_.world_threads >= 1) {
+  if (params_.open_loop) {
+    // Open-loop generators emit straight into partition queues, so the
+    // deployment always runs on the partitioned engine -- no serial
+    // fallback.  world_threads only sizes the worker pool; the partition
+    // plan (and therefore every byte of the report) is independent of it.
+    DQ_INVARIANT(!params_.failures && !params_.crashes,
+                 "open-loop workloads run on the partitioned engine, which "
+                 "excludes failure/crash injection");
+    parallel.partitions = params_.world_partitions > 0
+                              ? params_.world_partitions
+                              : sim::par::default_partition_count(topo_desc);
+    parallel.threads =
+        params_.world_threads > 0 ? params_.world_threads : 1;
+  } else if (params_.world_threads >= 1) {
     if (params_.failures || params_.crashes) {
       // Fault/crash injectors mutate cross-partition reachability mid-run,
       // which the conservative engine's lookahead cannot see.  Serial keeps
@@ -126,6 +139,10 @@ void Deployment::install_front_end(std::size_t server_index,
 }
 
 void Deployment::install_app_clients() {
+  if (params_.open_loop) {
+    install_generators({});
+    return;
+  }
   const auto& topo = world_->topology();
   for (std::size_t c = 0; c < topo.num_clients(); ++c) {
     const NodeId cn = topo.client(c);
@@ -138,6 +155,10 @@ void Deployment::install_app_clients() {
 void Deployment::install_direct_clients(
     const std::function<std::shared_ptr<protocols::ServiceClient>(NodeId)>&
         make) {
+  if (params_.open_loop) {
+    install_generators(make);
+    return;
+  }
   const auto& topo = world_->topology();
   for (std::size_t c = 0; c < topo.num_clients(); ++c) {
     const NodeId cn = topo.client(c);
@@ -147,17 +168,46 @@ void Deployment::install_direct_clients(
   }
 }
 
+void Deployment::install_generators(
+    const std::function<std::shared_ptr<protocols::ServiceClient>(NodeId)>&
+        make) {
+  const auto& topo = world_->topology();
+  // One alias table per trial, shared across every site (immutable after
+  // construction; sites sample it with their own rng streams).
+  auto zipf = std::make_shared<const ZipfAliasTable>(
+      params_.open_loop->zipf_s, params_.open_loop->objects);
+  generators_.reserve(topo.num_clients());
+  for (std::size_t c = 0; c < topo.num_clients(); ++c) {
+    const NodeId cn = topo.client(c);
+    SiteGenerator::Params gp;
+    gp.ol = *params_.open_loop;
+    gp.write_ratio = params_.write_ratio;
+    gp.locality = params_.locality;
+    gp.site = c;
+    gp.seed = params_.seed;
+    gp.zipf = zipf;
+    auto gen = make ? std::make_unique<SiteGenerator>(std::move(gp), make(cn))
+                    : std::make_unique<SiteGenerator>(std::move(gp));
+    world_->attach(cn, *gen);
+    generators_.push_back(std::move(gen));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Running and collecting
 // ---------------------------------------------------------------------------
 
 void Deployment::start_clients() {
   for (auto& c : clients_) c->start();
+  for (auto& g : generators_) g->start();
 }
 
 bool Deployment::clients_done() const {
   for (const auto& c : clients_) {
     if (!c->done()) return false;
+  }
+  for (const auto& g : generators_) {
+    if (!g->done()) return false;
   }
   return true;
 }
@@ -176,6 +226,11 @@ ExperimentResult Deployment::collect() {
     r.history.append(c->history());
     r.rejected_reads += c->rejected_reads();
     r.rejected_writes += c->rejected_writes();
+  }
+  for (const auto& g : generators_) {
+    r.history.append(g->history());
+    r.rejected_reads += g->rejected_reads();
+    r.rejected_writes += g->rejected_writes();
   }
   for (const OpRecord& op : r.history.ops()) {
     if (!op.ok) continue;

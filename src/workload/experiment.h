@@ -32,6 +32,7 @@
 #include "workload/frontend.h"
 #include "workload/history.h"
 #include "workload/node.h"
+#include "workload/open_loop.h"
 #include "workload/quorum_spec.h"
 
 namespace dq::workload {
@@ -78,6 +79,14 @@ struct ExperimentParams {
   sim::Duration think_time = 0;
   sim::Duration op_deadline = sim::kTimeInfinity;
   std::function<ObjectId(Rng&)> choose_object;  // default: own profile
+
+  // Open-loop aggregated workload (workload/open_loop.h): when set, the
+  // closed-loop AppClients are replaced by one SiteGenerator per client
+  // node, and the deployment always runs on the partitioned engine
+  // (world_threads == 0 sizes the worker pool at 1) so that generators emit
+  // straight into partition queues.  Incompatible with failure/crash
+  // injection, which is serial-engine-only.
+  std::optional<OpenLoopParams> open_loop;
 
   // Read-time staleness (age of information): when set, collect() computes
   // per-read ages from the merged history into the staleness.* instruments
@@ -163,6 +172,11 @@ class Deployment {
 
   [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
   [[nodiscard]] AppClient& client(std::size_t i) { return *clients_.at(i); }
+  // Open-loop generators (empty unless params.open_loop is set).
+  [[nodiscard]] std::size_t num_sites() const { return generators_.size(); }
+  [[nodiscard]] SiteGenerator& site(std::size_t i) {
+    return *generators_.at(i);
+  }
 
   // The composite actor hosted on server i.  Examples and tests append
   // their own handlers here (e.g. to embed a standalone service client on
@@ -215,6 +229,10 @@ class Deployment {
   ExperimentResult collect();
 
  private:
+  void install_generators(
+      const std::function<std::shared_ptr<protocols::ServiceClient>(NodeId)>&
+          make);
+
   ExperimentParams params_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<sim::FailureInjector> injector_;
@@ -222,6 +240,7 @@ class Deployment {
 
   std::vector<std::unique_ptr<EdgeNode>> servers_;
   std::vector<std::unique_ptr<AppClient>> clients_;
+  std::vector<std::unique_ptr<SiteGenerator>> generators_;
 
   DqvlRuntime dqvl_;
   // Protocol components owned by the factory that built this deployment

@@ -1,5 +1,6 @@
 #include "workload/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 #include <utility>
@@ -23,7 +24,6 @@ const std::vector<FlagHelp>& experiment_flag_help() {
       {"lease-ms", "volume lease length in ms (default 10000)"},
       {"obj-lease-ms", "object lease length in ms (default infinite)"},
       {"volumes", "number of volumes (default 1)"},
-      {"grid", "DEPRECATED alias for --iqs=grid:RxC"},
       {"drift", "max clock drift rate (default 0)"},
       {"jitter", "multiplicative delay jitter in [0,1): delays become"
                  " d*(1+U[0,jitter]) (default 0)"},
@@ -48,6 +48,23 @@ const std::vector<FlagHelp>& experiment_flag_help() {
       {"object", "single shared object id (default: per-client objects)"},
       {"staleness", "record per-read staleness (age of information) and add"
                     " the staleness section to the report (default off)"},
+      {"open-loop", "open-loop aggregated workload: one generator per site"
+                    " emits a Poisson rate process on the partitioned"
+                    " engine (default off)"},
+      {"sites", "open-loop: number of edge sites (overrides --clients)"},
+      {"clients-per-site", "open-loop: logical clients aggregated per site"
+                           " (default 1000)"},
+      {"client-rate", "open-loop: per-logical-client request rate in Hz"
+                      " (default 0.1)"},
+      {"zipf", "open-loop: Zipf exponent of object popularity (default"
+               " 0.99)"},
+      {"objects", "open-loop: object population size (default 100000)"},
+      {"diurnal", "open-loop: diurnal sine amplitude in [0,1) (default 0;"
+                  " period 60s of sim time)"},
+      {"flash-crowd", "open-loop: flash crowd START:DURATION:MULTIPLIER in"
+                      " seconds (e.g. 4:2:10)"},
+      {"open-seconds", "open-loop: emission horizon in seconds (default"
+                       " 10)"},
   };
   return kHelp;
 }
@@ -128,12 +145,6 @@ std::optional<ExperimentParams> params_from_flags(
     }
     p.iqs = *spec;
   }
-  if (auto grid = take(flags, "grid")) {  // deprecated alias
-    const auto spec = QuorumSpec::parse("grid:" + *grid);
-    if (!spec) return fail("--grid expects ROWSxCOLS, got '" + *grid + "'");
-    p.iqs = *spec;
-  }
-
   p.oqs_read_quorum = static_cast<std::size_t>(take_num(flags, "orq", 1));
   p.lease_length = sim::milliseconds(
       static_cast<std::int64_t>(take_num(flags, "lease-ms", 10000)));
@@ -191,6 +202,45 @@ std::optional<ExperimentParams> params_from_flags(
     p.choose_object = [o](Rng&) { return ObjectId(o); };
   }
   p.staleness = take_num(flags, "staleness", 0.0) != 0.0;
+
+  if (take_num(flags, "open-loop", 0.0) != 0.0) {
+    OpenLoopParams ol;
+    if (flags.count("sites") != 0) {
+      p.topo.num_clients =
+          static_cast<std::size_t>(take_num(flags, "sites", 3));
+    }
+    ol.clients_per_site =
+        static_cast<std::size_t>(take_num(flags, "clients-per-site", 1000));
+    ol.client_rate_hz = take_num(flags, "client-rate", 0.1);
+    ol.zipf_s = take_num(flags, "zipf", 0.99);
+    ol.objects = static_cast<std::size_t>(take_num(flags, "objects", 100000));
+    ol.diurnal_amplitude = take_num(flags, "diurnal", 0.0);
+    if (ol.diurnal_amplitude < 0.0 || ol.diurnal_amplitude >= 1.0) {
+      return fail("--diurnal expects an amplitude in [0,1)");
+    }
+    if (auto fc = take(flags, "flash-crowd")) {
+      double start = 0.0, duration = 0.0, mult = 0.0;
+      if (std::sscanf(fc->c_str(), "%lf:%lf:%lf", &start, &duration,
+                      &mult) != 3 ||
+          start < 0.0 || duration <= 0.0 || mult <= 0.0) {
+        return fail("--flash-crowd expects START:DURATION:MULTIPLIER in"
+                    " seconds, got '" + *fc + "'");
+      }
+      FlashCrowd flash;
+      flash.start = sim::milliseconds(static_cast<std::int64_t>(start * 1e3));
+      flash.duration =
+          sim::milliseconds(static_cast<std::int64_t>(duration * 1e3));
+      flash.multiplier = mult;
+      ol.flash = flash;
+    }
+    ol.horizon = sim::milliseconds(
+        static_cast<std::int64_t>(take_num(flags, "open-seconds", 10) * 1e3));
+    if (p.failures || p.crashes) {
+      return fail("--open-loop runs on the partitioned engine; failure/crash"
+                  " injection is serial-engine-only");
+    }
+    p.open_loop = ol;
+  }
 
   if (p.iqs.size() > p.topo.num_servers) {
     return fail("--iqs spec '" + p.iqs.describe() + "' needs " +

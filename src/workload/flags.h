@@ -38,8 +38,11 @@ struct FlagHelp {
 // Returns nullopt and sets *error on an invalid value.
 //
 // The --iqs flag takes a QuorumSpec: "majority:5", "grid:3x3", "read-one:9",
-// or a bare count (= majority).  --grid=RxC is kept as a deprecated alias
-// for --iqs=grid:RxC.
+// or a bare count (= majority).  The open-loop flags (--open-loop, --sites,
+// --clients-per-site, --client-rate, --zipf, --objects, --diurnal,
+// --flash-crowd, --open-seconds) are consumed only when --open-loop is
+// present; without it they are left in the map for the caller's
+// unknown-flag handling.
 [[nodiscard]] std::optional<ExperimentParams> params_from_flags(
     std::map<std::string, std::string>& flags, std::string* error);
 

@@ -192,6 +192,56 @@ std::string to_json(const ExperimentParams& params,
     out += ",\"read_age_ms\":" + hist_json(*ages);
     out += "}";
   }
+  // Open-loop section, present only for open-loop runs, like staleness.
+  // Offered / completed / failed come from the generators' counters; the
+  // per-site block carries each site's offered load and latency tail, and
+  // load_skew is max-site-offered over mean-site-offered (1.0 = perfectly
+  // even).
+  if (params.open_loop) {
+    const OpenLoopParams& ol = *params.open_loop;
+    const std::size_t sites = params.topo.num_clients;
+    out += ",\"open_loop\":{";
+    out += "\"sites\":" + num(std::uint64_t(sites));
+    out += ",\"clients_per_site\":" + num(std::uint64_t(ol.clients_per_site));
+    out += ",\"logical_clients\":" +
+           num(std::uint64_t(ol.clients_per_site * sites));
+    out += ",\"objects\":" + num(std::uint64_t(ol.objects));
+    out += ",\"zipf_s\":" + num(ol.zipf_s);
+    out += ",\"site_rate_hz\":" + num(ol.site_rate_hz());
+    out += ",\"horizon_ms\":" + num(sim::to_ms(ol.horizon));
+    out += ",\"offered\":" + num(m.counter("open_loop.offered"));
+    out += ",\"completed\":" + num(m.counter("open_loop.completed"));
+    out += ",\"failed\":" + num(m.counter("open_loop.failed"));
+    out += ",\"batches\":" + num(m.counter("open_loop.batches"));
+    std::uint64_t max_offered = 0, total_offered = 0;
+    for (std::size_t i = 0; i < sites; ++i) {
+      const std::uint64_t v =
+          m.counter("site.offered.s" + std::to_string(i));
+      max_offered = v > max_offered ? v : max_offered;
+      total_offered += v;
+    }
+    const double mean_offered =
+        sites == 0 ? 0.0
+                   : static_cast<double>(total_offered) /
+                         static_cast<double>(sites);
+    out += ",\"load_skew\":" +
+           num(mean_offered > 0.0
+                   ? static_cast<double>(max_offered) / mean_offered
+                   : 0.0);
+    out += ",\"per_site\":{";
+    for (std::size_t i = 0; i < sites; ++i) {
+      const std::string key = "s" + std::to_string(i);
+      if (i != 0) out += ",";
+      out += "\"" + key + "\":{";
+      out += "\"offered\":" + num(m.counter("site.offered." + key));
+      out += ",\"completed\":" + num(m.counter("site.completed." + key));
+      const obs::HistogramData* h = m.histogram("site.latency_ms." + key);
+      if (h != nullptr) out += ",\"latency_ms\":" + hist_json(*h);
+      out += "}";
+    }
+    out += "}";
+    out += "}";
+  }
   out += ",\"violations\":" + num(std::uint64_t(result.violations.size()));
   out += "}";
   return out;

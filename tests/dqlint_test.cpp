@@ -203,6 +203,28 @@ TEST(DqlintScopes, RulesOnlyFireInTheirDirectories) {
   EXPECT_TRUE(lint_source("src/analysis/x.cpp", src, true).diagnostics.empty());
 }
 
+TEST(DqlintScopes, OpenLoopEngineCarriesDetRules) {
+  // The open-loop workload engine is det-scoped by file prefix: its
+  // samplers run inside partition workers, so det-* applies to
+  // src/workload/open_loop.* while the rest of src/workload/ stays exempt.
+  const std::string hash = "#include <unordered_map>\n"
+                           "std::unordered_map<int, int> m;\n";
+  EXPECT_EQ(
+      lint_source("src/workload/open_loop.cpp", hash, true).diagnostics.size(),
+      2u);
+  EXPECT_EQ(
+      lint_source("src/workload/open_loop.h", hash, true).diagnostics.size(),
+      2u);
+  EXPECT_TRUE(
+      lint_source("src/workload/experiment.cpp", hash, true)
+          .diagnostics.empty());
+  const std::string wall = fixture("bad_wall_clock.cpp");
+  EXPECT_FALSE(lint_source("src/workload/open_loop.cpp", wall, true)
+                   .diagnostics.empty());
+  EXPECT_TRUE(
+      lint_source("src/workload/report.cpp", wall, true).diagnostics.empty());
+}
+
 TEST(DqlintScopes, ExemptFileSkipsRule) {
   const std::string src = "void check(bool b) { assert(b); }\n";
   EXPECT_EQ(lint_source("src/sim/x.cpp", src, true).diagnostics.size(), 1u);
@@ -380,6 +402,22 @@ TEST(DqlintProgram, PartRulesScopedToDetDirs) {
                   .diagnostics.empty());
   EXPECT_TRUE(lint_fixture_program(
                   {{"bench/state.cpp", "bad_part_mutable_global.cpp"}})
+                  .diagnostics.empty());
+}
+
+TEST(DqlintProgram, PartRulesCoverOpenLoopEngine) {
+  // Generators run inside partition workers, so the partition-ownership
+  // rules extend to the open-loop files by prefix (and only to them).
+  // The fixture holds three offending declarations (namespace-scope,
+  // thread_local, class-static).
+  const auto counts = rule_counts(lint_fixture_program(
+      {{"src/workload/open_loop.cpp", "bad_part_mutable_global.cpp"}}));
+  EXPECT_EQ(counts.at("part-mutable-global"), 3);
+  const auto local = rule_counts(lint_fixture_program(
+      {{"src/workload/open_loop.cpp", "bad_part_local_static.cpp"}}));
+  EXPECT_EQ(local.at("part-local-static"), 1);
+  EXPECT_TRUE(lint_fixture_program(
+                  {{"src/workload/flags.cpp", "bad_part_mutable_global.cpp"}})
                   .diagnostics.empty());
 }
 

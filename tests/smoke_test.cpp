@@ -32,6 +32,52 @@ TEST_P(SmokeTest, CompletesWorkloadWithRegularHistory) {
   }
 }
 
+// Same matrix under the open-loop engine: each protocol must complete a
+// tiny rate-driven workload (no loss, so every offered request completes)
+// with a regular history.  Covers both front-end protocols (dqvl) and
+// direct-client ones (majority, pb, ...) through the generator path.
+class OpenLoopSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OpenLoopSmokeTest, CompletesOfferedLoadWithRegularHistory) {
+  ExperimentParams p;
+  p.protocol = GetParam();
+  p.write_ratio = 0.2;
+  p.seed = 7;
+  OpenLoopParams ol;
+  ol.clients_per_site = 200;
+  ol.client_rate_hz = 0.1;  // 20 Hz per site
+  ol.objects = 64;
+  ol.horizon = sim::seconds(1);
+  p.open_loop = ol;
+  const ExperimentResult r = run_experiment(p);
+
+  const auto offered = r.metrics.counter("open_loop.offered");
+  EXPECT_GT(offered, 0u);
+  EXPECT_EQ(r.metrics.counter("open_loop.completed"), offered);
+  EXPECT_EQ(r.metrics.counter("open_loop.failed"), 0u);
+  EXPECT_EQ(r.history.size(), offered);
+  if (GetParam() != "rowa-async") {
+    EXPECT_TRUE(r.violations.empty())
+        << r.violations.size() << " violations, first: "
+        << (r.violations.empty() ? "" : r.violations.front().reason);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, OpenLoopSmokeTest,
+    ::testing::Values("dqvl", "dq-basic",
+                      "majority", "pb",
+                      "pb-sync", "rowa",
+                      "rowa-async", "hermes",
+                      "dynamo"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = protocol_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, SmokeTest,
     ::testing::Values("dqvl", "dq-basic",

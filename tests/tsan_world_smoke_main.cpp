@@ -33,6 +33,37 @@ std::string render(const std::string& proto, std::size_t world_threads) {
   return dq::workload::report::to_json(p, dq::workload::run_experiment(p));
 }
 
+// Open-loop generators emit into partition-local queues from worker
+// threads, so they are exactly the code the tsan preset should watch: the
+// batch timers, the shared (const) alias table, and the per-site metric
+// lanes all run inside the worker pool.
+dq::workload::ExperimentParams open_loop_smoke_params() {
+  dq::workload::ExperimentParams p;
+  p.protocol = "dqvl";
+  p.topo.num_servers = 6;
+  p.topo.num_clients = 3;
+  p.topo.jitter = 0.1;
+  p.write_ratio = 0.2;
+  p.locality = 0.9;
+  p.loss = 0.02;
+  p.seed = 7;
+  dq::workload::OpenLoopParams ol;
+  ol.clients_per_site = 500;
+  ol.client_rate_hz = 0.1;
+  ol.objects = 512;
+  ol.diurnal_amplitude = 0.4;
+  ol.diurnal_period = dq::sim::seconds(1);
+  ol.horizon = dq::sim::seconds(1);
+  p.open_loop = ol;
+  return p;
+}
+
+std::string render_open_loop(std::size_t world_threads) {
+  dq::workload::ExperimentParams p = open_loop_smoke_params();
+  p.world_threads = world_threads;
+  return dq::workload::report::to_json(p, dq::workload::run_experiment(p));
+}
+
 }  // namespace
 
 int main() {
@@ -52,8 +83,17 @@ int main() {
       return 1;
     }
   }
+  const std::string ol1 = render_open_loop(1);
+  const std::string ol4 = render_open_loop(4);
+  if (ol1 != ol4) {
+    std::fprintf(stderr,
+                 "tsan_world_smoke: open-loop --world-threads 1 and 4 "
+                 "reports differ -- generator emission leaked thread "
+                 "scheduling\n");
+    return 1;
+  }
   std::printf(
       "tsan_world_smoke: dq.report.v1 byte-identical at --world-threads 1 "
-      "and 4 for dqvl, hermes, dynamo\n");
+      "and 4 for dqvl, hermes, dynamo, and the open-loop workload\n");
   return 0;
 }

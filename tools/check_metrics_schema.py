@@ -37,6 +37,12 @@ CONFIG_KEYS = {
 }
 METRICS_KEYS = {"counters", "gauges", "histograms"}
 STALENESS_KEYS = {"reads", "stale_reads", "read_age_ms"}
+OPEN_LOOP_KEYS = {
+    "sites", "clients_per_site", "logical_clients", "objects", "zipf_s",
+    "site_rate_hz", "horizon_ms", "offered", "completed", "failed",
+    "batches", "load_skew", "per_site",
+}
+HOST_KEYS = {"cpu_model", "hardware_threads", "baseline_comparable"}
 LINT_KEYS = {
     "schema", "root", "files_scanned", "clean", "rules", "diagnostics",
     "suppressions", "suppression_summary",
@@ -147,6 +153,45 @@ def check_report(doc, where, *, dqvl=False):
                f"{where}.metrics.histograms: staleness.read_age_ms missing "
                "despite staleness section")
 
+    # Optional open_loop section (--open-loop runs): offered-load accounting
+    # plus per-site counters, which must agree with each other.
+    if "open_loop" in doc:
+        ol = doc["open_loop"]
+        expect(isinstance(ol, dict), f"{where}.open_loop: expected object")
+        missing = OPEN_LOOP_KEYS - ol.keys()
+        expect(not missing, f"{where}.open_loop: missing keys "
+               f"{sorted(missing)}")
+        for k in ("sites", "clients_per_site", "logical_clients", "objects",
+                  "offered", "completed", "failed", "batches"):
+            expect(isinstance(ol[k], int) and ol[k] >= 0,
+                   f"{where}.open_loop.{k}: not a non-negative int")
+        for k in ("zipf_s", "site_rate_hz", "horizon_ms", "load_skew"):
+            expect(isinstance(ol[k], (int, float)),
+                   f"{where}.open_loop.{k}: not a number")
+        expect(ol["logical_clients"] == ol["sites"] * ol["clients_per_site"],
+               f"{where}.open_loop: logical_clients != sites * "
+               "clients_per_site")
+        expect(ol["offered"] == ol["completed"] + ol["failed"],
+               f"{where}.open_loop: offered != completed + failed")
+        per_site = ol["per_site"]
+        expect(isinstance(per_site, dict) and
+               len(per_site) == ol["sites"],
+               f"{where}.open_loop.per_site: expected one entry per site")
+        site_offered = 0
+        for name, site in per_site.items():
+            w = f"{where}.open_loop.per_site.{name}"
+            expect(name.startswith("s"), f"{w}: bad site key")
+            expect(isinstance(site, dict), f"{w}: expected object")
+            for k in ("offered", "completed"):
+                expect(isinstance(site.get(k), int) and site[k] >= 0,
+                       f"{w}.{k}: not a non-negative int")
+            if "latency_ms" in site:
+                check_summary(site["latency_ms"], f"{w}.latency_ms")
+            site_offered += site["offered"]
+        expect(site_offered == ol["offered"],
+               f"{where}.open_loop: per-site offered does not sum to "
+               "offered")
+
     if dqvl:
         # The acceptance bar: per-phase write-latency histograms and
         # per-node IQS load counters must actually be populated.
@@ -239,6 +284,21 @@ def check_document(doc, where):
     if schema == "dq.bench.v1":
         expect(isinstance(doc.get("bench"), str) and doc["bench"],
                f"{where}.bench: not a non-empty string")
+        # Optional hardware-provenance block: which machine produced the
+        # numbers and whether the baseline it replaced was comparable.
+        if "host" in doc:
+            host = doc["host"]
+            expect(isinstance(host, dict), f"{where}.host: expected object")
+            missing = HOST_KEYS - host.keys()
+            expect(not missing, f"{where}.host: missing keys "
+                   f"{sorted(missing)}")
+            expect(isinstance(host["cpu_model"], str) and host["cpu_model"],
+                   f"{where}.host.cpu_model: not a non-empty string")
+            expect(isinstance(host["hardware_threads"], int) and
+                   host["hardware_threads"] > 0,
+                   f"{where}.host.hardware_threads: not a positive int")
+            expect(isinstance(host["baseline_comparable"], bool),
+                   f"{where}.host.baseline_comparable: not a bool")
         runs = doc.get("runs")
         expect(isinstance(runs, list), f"{where}.runs: expected array")
         for i, run in enumerate(runs):
